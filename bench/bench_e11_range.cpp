@@ -1,0 +1,58 @@
+// E11 — the range spectrum (Becker et al., cited in Section 1.3): the same
+// problem's round complexity slides from Θ(n/b) in BCC(b) (r = 1) to O(1)
+// in CC(b) (r = n-1) as the number of distinct messages per round grows.
+//
+// Series reported: measured rounds of the embedded 2-party set-disjointness
+// protocol as the range r sweeps the spectrum, with correctness checked on
+// every run, plus the total (distinct-value) bits — the bottleneck budget.
+#include <cstdio>
+
+#include "bcc_lb.h"
+
+using namespace bcclb;
+
+int main() {
+  std::printf("E11: round complexity across the range spectrum (BCC -> CC)\n");
+  std::printf("%4s %3s %5s | %7s %10s | %8s\n", "n", "b", "r", "rounds", "bits-sent",
+              "correct");
+
+  Rng rng(61);
+  for (std::size_t n : {34u, 66u}) {
+    for (unsigned b : {1u, 2u}) {
+      for (unsigned r = 1; r < n; r *= 4) {
+        DisjointnessInput in;
+        in.a.resize(n - 2);
+        in.b.resize(n - 2);
+        for (std::size_t k = 0; k + 2 < n; ++k) {
+          in.a[k] = rng.next_bernoulli(0.1);
+          in.b[k] = rng.next_bernoulli(0.1);
+        }
+        const BccInstance inst = BccInstance::kt1(Graph(n));
+        RangeSimulator sim(inst, r, b);
+        const RangeRunResult res = sim.run(disjointness_factory(in, r),
+                                           DisjointnessAlgorithm::rounds_needed(n, r, b) + 2);
+        std::printf("%4zu %3u %5u | %7u %10llu | %8s\n", n, b, r, res.rounds_executed,
+                    static_cast<unsigned long long>(res.total_bits_sent),
+                    res.decision == sets_disjoint(in) ? "yes" : "NO");
+      }
+      // The CC endpoint: full unicast.
+      DisjointnessInput in;
+      in.a.assign(n - 2, false);
+      in.b.assign(n - 2, false);
+      in.a[0] = in.b[0] = true;
+      const BccInstance inst = BccInstance::kt1(Graph(n));
+      RangeSimulator sim(inst, static_cast<unsigned>(n - 1), b);
+      const auto res =
+          sim.run(disjointness_factory(in, static_cast<unsigned>(n - 1)),
+                  DisjointnessAlgorithm::rounds_needed(n, static_cast<unsigned>(n - 1), b) + 2);
+      std::printf("%4zu %3u %5zu | %7u %10llu | %8s   <- CC endpoint\n", n, b, n - 1,
+                  res.rounds_executed, static_cast<unsigned long long>(res.total_bits_sent),
+                  res.decision == sets_disjoint(in) ? "yes" : "NO");
+    }
+  }
+  std::printf(
+      "\nPaper prediction (via [Bec+16]): rounds ~ ceil((n-2)/(r b)) + 2 — Θ(n/b) at\n"
+      "the BCC end (matching the Ω(n) BCC(1) disjointness bound), O(1) at the CC\n"
+      "end. This is why the paper's bottleneck technique lives in BCC, not CC.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E12 — proof-labeling schemes (Section 1.3, [PP17]/[KKP10] context).
+//
+// Series reported:
+//   (a) Verification complexity of the classical Connectivity PLS (2⌈log n⌉
+//       bits) vs n, with completeness and soundness measured: honest labels
+//       accepted on connected inputs, per-component honest labels and random
+//       labelings rejected on disconnected inputs.
+//   (b) The transcripts-as-labels construction: a t-round BCC(b) algorithm
+//       becomes a PLS with t(b+1)-bit labels — flooding gives Θ(n log n)
+//       bits, so an o(log n)-round BCC(1) algorithm would beat the classical
+//       scheme, which is the [PP17] route to the KT-0 deterministic bound.
+#include <cstdio>
+
+#include "bcc_lb.h"
+#include "common/mathutil.h"
+
+using namespace bcclb;
+
+int main() {
+  std::printf("E12: proof-labeling schemes for Connectivity\n\n");
+  std::printf("(a) classical (root, dist) scheme\n");
+  std::printf("%5s %6s | %9s %13s %12s\n", "n", "bits", "complete", "cheat-caught",
+              "rand-fooled");
+  ConnectivityPls scheme;
+  Rng rng(71);
+  for (std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
+    std::size_t complete = 0, fooled = 0, cheat_caught = 0;
+    const int trials = 10;
+    for (int i = 0; i < trials; ++i) {
+      const BccInstance yes = BccInstance::kt1(random_one_cycle(n, rng).to_graph());
+      if (run_pls_honest(scheme, yes).accepted) ++complete;
+      const BccInstance no = BccInstance::kt1(random_two_cycle(n, rng).to_graph());
+      if (!run_pls_honest(scheme, no).accepted) ++cheat_caught;
+      fooled += count_fooling_labelings(scheme, no, 30, rng);
+    }
+    std::printf("%5zu %6zu | %6zu/%-2d %9zu/%-2d %9zu/%d\n", n, scheme.label_bits(n), complete,
+                trials, cheat_caught, trials, fooled, 30 * trials);
+  }
+
+  std::printf("\n(b) transcripts-as-labels ([PP17] construction)\n");
+  std::printf("%5s | %16s %16s\n", "n", "flood-PLS bits", "classical bits");
+  for (std::size_t n : {8u, 16u, 32u, 64u}) {
+    const unsigned t = MinIdFloodAlgorithm::rounds_needed(n);
+    const unsigned b = 1 + static_cast<unsigned>(ceil_log2(n));
+    TranscriptPls tp(min_id_flood_factory(), t, b);
+    std::printf("%5zu | %16zu %16zu\n", n, tp.label_bits(n), scheme.label_bits(n));
+  }
+  {
+    // End-to-end check of the construction at n = 12.
+    const std::size_t n = 12;
+    Rng rng2(5);
+    const unsigned t = MinIdFloodAlgorithm::rounds_needed(n);
+    TranscriptPls tp(min_id_flood_factory(), t, 5);
+    const BccInstance yes = BccInstance::kt1(random_one_cycle(n, rng2).to_graph());
+    const BccInstance no = BccInstance::kt1(random_two_cycle(n, rng2).to_graph());
+    std::printf("  end-to-end at n=12: accepts connected=%s, rejects disconnected=%s\n",
+                run_pls_honest(tp, yes).accepted ? "yes" : "NO",
+                !run_pls_honest(tp, no).accepted ? "yes" : "NO");
+  }
+  std::printf(
+      "\nPaper prediction: classical verification complexity is Θ(log n) and the\n"
+      "paper's Ω(log n) BCC(1) KT-0 bound (even randomized, Theorem 3.1) says no\n"
+      "algorithmic transcript scheme can beat it — contrast with randomized\n"
+      "proof-labeling for MST at O(log log n) [BFP15], which our Theorem 3.1\n"
+      "machinery shows cannot happen for Connectivity in BCC(1).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E16 — triangle detection in KT-1 CONGEST ([Fis+18], Section 1.3): the
+// related-work setting with a known Ω(log n) deterministic 1-bit bound.
+//
+// Series reported: rounds and bits of the neighbor-exchange detection
+// algorithm across n, degree and bandwidth, with correctness against a
+// brute-force reference; the constant-degree b = 1 column is the regime
+// where the algorithm's Θ(Δ log n) meets [Fis+18]'s Ω(log n).
+#include <cstdio>
+
+#include "bcc_lb.h"
+#include "common/mathutil.h"
+
+using namespace bcclb;
+
+namespace {
+
+void report(const char* name, const Graph& g, unsigned b) {
+  std::size_t max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  CongestSimulator sim(g, b);
+  const auto res = sim.run(triangle_detection_factory(),
+                           TriangleDetection::rounds_needed(g.num_vertices(), max_deg, b) + 2);
+  std::printf("%-12s %4zu %3zu %3u | %7u %10llu | %9s %7s\n", name, g.num_vertices(), max_deg,
+              b, res.rounds_executed, static_cast<unsigned long long>(res.total_bits_sent),
+              has_triangle(g) ? "triangle" : "free",
+              res.decision == !has_triangle(g) ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E16: triangle detection in KT-1 CONGEST\n");
+  std::printf("%-12s %4s %3s %3s | %7s %10s | %9s %7s\n", "workload", "n", "deg", "b", "rounds",
+              "bits", "truth", "correct");
+
+  Rng rng(111);
+  for (std::size_t n : {16u, 32u, 64u}) {
+    for (unsigned b : {1u, 4u}) {
+      report("cycle", random_one_cycle(n, rng).to_graph(), b);          // Δ = 2, no triangle
+      report("gnp-sparse", random_gnp(n, 2.0 / static_cast<double>(n), rng), b);
+      report("gnp-dense", random_gnp(n, 0.3, rng), b);
+    }
+  }
+
+  std::printf("\nconstant-degree scaling at b = 1 (cycles, Δ = 2):\n");
+  std::printf("%6s %8s %14s %10s\n", "n", "rounds", "3*ceil(lg n)+1", "lower(lg n)");
+  for (std::size_t n : {16u, 64u, 256u}) {
+    const Graph g = random_one_cycle(n, rng).to_graph();
+    CongestSimulator sim(g, 1);
+    const auto res =
+        sim.run(triangle_detection_factory(), TriangleDetection::rounds_needed(n, 2, 1) + 2);
+    std::printf("%6zu %8u %14u %10u\n", n, res.rounds_executed, 3 * ceil_log2(n) + 1,
+                ceil_log2(n));
+  }
+  std::printf(
+      "\nPaper context: [Fis+18] prove Omega(log n) for deterministic KT-1 CONGEST\n"
+      "triangle detection at b = 1; the measured Theta(deg * log n) of the natural\n"
+      "algorithm sits a constant factor above it on constant-degree inputs — the\n"
+      "same tight-at-log-n shape as the paper's Connectivity story in BCC(1).\n");
+  return 0;
+}

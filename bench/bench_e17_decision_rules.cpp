@@ -1,0 +1,42 @@
+// E17 — ablation: broadcasts vs decision rules.
+//
+// Theorem 3.1 is a statement about broadcasts: instances the transcripts
+// cannot separate get equal outputs under ANY decision rule. This bench
+// quantifies the two sides on the exhaustive instance space:
+//   floor    — the matching-certified error (no rule can beat it),
+//   greedy   — an explicitly optimized rule (greedy weighted red-blue cover
+//              over "which vertex-states vote NO"),
+//   always-Y — the naive rule (errs on all NO mass, 0.5).
+// The gap floor <= greedy <= 0.5 shows how much of the indistinguishability
+// is exploitable, per adversary and round budget.
+#include <cstdio>
+
+#include "bcc_lb.h"
+
+using namespace bcclb;
+
+int main() {
+  std::printf("E17: optimized decision rules vs the certified floor (n = 7)\n");
+  std::printf("%-12s %2s | %7s %8s | %9s %9s %9s | %6s\n", "adversary", "t", "states",
+              "vote-NO", "floor", "greedy", "always-Y", "insep");
+
+  const PublicCoins coins(131, 4096);
+  for (const AdversaryKind kind : all_adversary_kinds()) {
+    for (unsigned t : {1u, 2u, 3u}) {
+      const auto factory = two_cycle_adversary_factory(kind, t, always_yes_rule());
+      const auto matching = kt0_matching_experiment(7, t, factory, &coins);
+      const auto opt = optimize_decision_rule(7, t, factory, &coins);
+      std::printf("%-12s %2u | %7zu %8zu | %9.4f %9.4f %9.4f | %6zu\n",
+                  adversary_kind_name(kind), t, opt.num_states, opt.states_voting_no,
+                  matching.matching_error_bound, opt.greedy_error, opt.always_yes_error,
+                  opt.inseparable_pairs);
+    }
+  }
+  std::printf(
+      "\nReading: greedy always sits between the certified floor and 0.5. Silence\n"
+      "leaves greedy at 0.5 (nothing to exploit); information-carrying broadcasts\n"
+      "(echo, hashed-id) let the optimized rule approach the floor as t grows —\n"
+      "the floor, not the rule, is the binding constraint, exactly Theorem 3.1's\n"
+      "point that the lower bound is about transcripts.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E1 — Figure 1 / Lemma 3.4: port-preserving crossings preserve local views
+// and yield t-round indistinguishability when the crossed edges' endpoints
+// broadcast identical sequences.
+//
+// Series reported: for each adversary and t, over random one-cycle KT-0
+// instances, (a) the fraction of crossings of same-label independent pairs
+// whose full vertex states match after t rounds (must be 1.0), and (b) the
+// fraction of different-label crossings that remain indistinguishable
+// (drops as the algorithm talks more).
+#include <cstdio>
+
+#include "bcc_lb.h"
+
+using namespace bcclb;
+
+int main() {
+  std::printf("E1: crossing indistinguishability (Figure 1 / Lemma 3.4)\n");
+  std::printf("%-12s %2s %6s | %-22s %-26s\n", "adversary", "t", "n", "same-label identical",
+              "diff-label identical");
+
+  const std::size_t n = 16;
+  const PublicCoins coins(5, 4096);
+  Rng rng(99);
+  for (const AdversaryKind kind : all_adversary_kinds()) {
+    for (unsigned t : {1u, 2u, 4u}) {
+      const auto factory = two_cycle_adversary_factory(kind, t, always_yes_rule());
+      std::size_t same_checked = 0, same_ok = 0, diff_checked = 0, diff_ok = 0;
+      for (int trial = 0; trial < 30; ++trial) {
+        const auto cs = random_one_cycle(n, rng);
+        const BccInstance inst = random_kt0_instance(cs, rng);
+        BccSimulator sim(inst, 1, &coins);
+        const Transcript tr = sim.run(factory, t).transcript;
+        const auto edges = cs.directed_edges();
+        for (std::size_t a = 0; a < edges.size(); ++a) {
+          for (std::size_t b = a + 1; b < edges.size(); ++b) {
+            if (!cs.edges_independent(edges[a], edges[b])) continue;
+            const bool same_label =
+                tr.sent_string(edges[a].tail) == tr.sent_string(edges[b].tail) &&
+                tr.sent_string(edges[a].head) == tr.sent_string(edges[b].head);
+            // Sample sparsely to keep the run fast.
+            if ((a * 31 + b) % 17 != 0) continue;
+            const BccInstance crossed = port_preserving_crossing(inst, edges[a], edges[b]);
+            BccSimulator sim2(crossed, 1, &coins);
+            const Transcript tr2 = sim2.run(factory, t).transcript;
+            bool identical = true;
+            for (VertexId v = 0; v < n && identical; ++v) {
+              identical = vertex_state_signature(inst, tr, v) ==
+                          vertex_state_signature(crossed, tr2, v);
+            }
+            if (same_label) {
+              ++same_checked;
+              if (identical) ++same_ok;
+            } else {
+              ++diff_checked;
+              if (identical) ++diff_ok;
+            }
+          }
+        }
+      }
+      auto frac = [](std::size_t ok, std::size_t total) {
+        return total == 0 ? -1.0 : static_cast<double>(ok) / static_cast<double>(total);
+      };
+      std::printf("%-12s %2u %6zu | %6zu/%-6zu = %-7.4f %6zu/%-6zu = %.4f\n",
+                  adversary_kind_name(kind), t, n, same_ok, same_checked,
+                  frac(same_ok, same_checked), diff_ok, diff_checked,
+                  frac(diff_ok, diff_checked));
+    }
+  }
+  std::printf("\nPaper prediction: same-label column is identically 1.0 (Lemma 3.4);\n"
+              "the diff-label column shrinks as algorithms reveal more structure.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// E2 — Theorem 3.5: the star hard distribution.
+//
+// Series reported: for each adversary kind and round budget t, the size of
+// the largest same-label class S' inside the independent edge set S
+// (pigeonhole floor |S|/3^{2t}), the error the distribution forces,
+// C(|S'|,2)/(2 C(|S|,2)), against the paper's Ω(3^{-4t}) reference, and the
+// count of actually-verified indistinguishable crossings.
+#include <cstdio>
+
+#include "bcc_lb.h"
+
+using namespace bcclb;
+
+int main() {
+  std::printf("E2: star-distribution error decay (Theorem 3.5)\n");
+  std::printf("%-12s %4s %2s | %4s %4s %9s | %11s %11s %9s | %s\n", "adversary", "n", "t",
+              "|S|", "|S'|", "floor", "forced-err", "3^-4t/2", "measured", "verified");
+
+  const PublicCoins coins(11, 4096);
+  for (const AdversaryKind kind : all_adversary_kinds()) {
+    for (std::size_t n : {24u, 48u, 96u}) {
+      for (unsigned t : {1u, 2u, 3u}) {
+        const auto factory = two_cycle_adversary_factory(kind, t, always_yes_rule());
+        const auto rep = star_error_experiment(n, t, factory, &coins, 32);
+        std::printf("%-12s %4zu %2u | %4zu %4zu %9.3f | %11.6f %11.6f %9.6f | %zu/%zu\n",
+                    adversary_kind_name(kind), n, t, rep.independent_set_size,
+                    rep.largest_class_size, rep.pigeonhole_floor, rep.forced_error,
+                    rep.theory_floor, rep.measured_error, rep.crossings_verified,
+                    rep.crossings_checked);
+      }
+    }
+  }
+  std::printf(
+      "\nPaper prediction: |S'| >= floor (pigeonhole), forced-err >= Omega(3^-4t), and\n"
+      "verified == checked (Lemma 3.4). For t <= 0.001 c log3(n) the forced error\n"
+      "exceeds n^-c, contradicting polynomially-small-error algorithms (Theorem 3.5).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E3 — Lemmas 3.7, 3.8, 3.9: structure of the indistinguishability graph at
+// round 0 (all edges active), exhaustively over all one-/two-cycle
+// structures.
+//
+// Series reported:
+//   (a) |V1|, |V2| and their ratio against the harmonic prediction
+//       H_{n/2} - 3/2 (Lemma 3.9: |V2| = |V1| * Θ(log n));
+//   (b) one-cycle degrees (n(n-5)/2 exactly; the Lemma 3.9 sketch quotes
+//       n(n-3)/2 — same Θ) and two-cycle degrees 2 i (n-i);
+//   (c) Lemma 3.7's neighbor-degree profile of the canonical one-cycle;
+//   (d) Lemma 3.8-style expansion: |N(S)|/|S| for prefix samples of V1.
+#include <cstdio>
+#include <numeric>
+
+#include "bcc_lb.h"
+#include "common/mathutil.h"
+
+using namespace bcclb;
+
+int main() {
+  std::printf("E3: indistinguishability graph structure (Lemmas 3.7-3.9)\n\n");
+  std::printf("(a) size ratio vs harmonic prediction\n");
+  std::printf("%3s %10s %10s %9s %9s %8s\n", "n", "|V1|", "|V2|", "ratio", "H(n/2)-1.5",
+              "ratio/pred");
+  for (std::size_t n = 6; n <= 9; ++n) {
+    const auto g = build_indistinguishability_graph(n, all_edges_active());
+    const double pred = harmonic(n / 2) - 1.5;
+    std::printf("%3zu %10zu %10zu %9.4f %9.4f %8.3f\n", n, g.one_cycles.size(),
+                g.two_cycles.size(), g.size_ratio(), pred, g.size_ratio() / pred);
+  }
+
+  std::printf("\n(a') closed-form ratio far beyond enumeration (Lemma 3.9 at scale)\n");
+  std::printf("%6s %12s %12s %10s\n", "n", "ratio", "H(n/2)-1.5", "ratio/pred");
+  for (std::size_t big : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+    const double ratio = two_to_one_cycle_ratio(big);
+    const double pred = harmonic(big / 2) - 1.5;
+    std::printf("%6zu %12.4f %12.4f %10.4f\n", big, ratio, pred, ratio / pred);
+  }
+  std::printf("  (exact ratio -> (H(n/2) + ln2 - 3/2)/2: the lemma's Theta with the\n"
+              "   constant pinned at 1/2 of its per-term upper bound)\n");
+
+  const std::size_t n = 8;
+  const auto g = build_indistinguishability_graph(n, all_edges_active());
+
+  std::printf("\n(b) degrees at n = %zu\n", n);
+  std::printf("  every one-cycle degree = %zu (exact n(n-5)/2 = %zu)\n", g.adj[0].size(),
+              n * (n - 5) / 2);
+  const auto deg2 = g.two_cycle_degrees();
+  std::printf("  %-28s %8s %10s\n", "two-cycle class", "count", "degree");
+  for (std::size_t i = 3; i <= n / 2; ++i) {
+    std::size_t count = 0, deg = 0;
+    for (std::size_t j = 0; j < g.two_cycles.size(); ++j) {
+      if (g.two_cycles[j].smallest_cycle_length() == i) {
+        ++count;
+        deg = deg2[j];
+      }
+    }
+    std::printf("  smaller cycle = %-13zu %8zu %10zu  (2 i (n-i) = %zu)\n", i, count, deg,
+                2 * i * (n - i));
+  }
+
+  std::printf("\n(c) Lemma 3.7 neighbor-degree profile, canonical %zu-cycle, d = n\n", n);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const auto prof =
+      neighbor_degree_profile(CycleStructure::single_cycle(order), all_edges_active());
+  for (std::size_t i = 3; i <= n / 2; ++i) {
+    std::printf("  i = %zu: %zu neighbors with i active edges in the smaller cycle"
+                " (paper: d = %zu, d/2 at i = d/2)\n",
+                i, prof.split_counts[i], prof.active_edges);
+  }
+
+  std::printf("\n(d) Lemma 3.8 expansion |N(S)| >= |S| * Theta(log d)\n");
+  std::printf("  %8s %10s %10s\n", "|S|", "|N(S)|", "ratio");
+  for (std::size_t take : {1u, 10u, 100u, 1000u}) {
+    if (take > g.one_cycles.size()) break;
+    std::vector<bool> seen(g.two_cycles.size(), false);
+    std::size_t nbrs = 0;
+    for (std::size_t i = 0; i < take; ++i) {
+      for (std::uint32_t j : g.adj[i]) {
+        if (!seen[j]) {
+          seen[j] = true;
+          ++nbrs;
+        }
+      }
+    }
+    std::printf("  %8zu %10zu %10.3f\n", take, nbrs,
+                static_cast<double>(nbrs) / static_cast<double>(take));
+  }
+  std::printf(
+      "\nPaper prediction: (a) ratio/pred is a mild constant (Theta agreement);\n"
+      "(b,c) exact combinatorial counts; (d) small S expand by > 1, large S approach\n"
+      "the global ratio — the Polygamous-Hall regime of Theorem 2.1.\n");
+  return 0;
+}

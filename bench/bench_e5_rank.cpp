@@ -1,0 +1,43 @@
+// E5 — Theorem 2.3 (Dowling–Wilson) and Lemma 4.1: the join matrices M_n
+// and E_n are full rank.
+//
+// Rows reported: matrix, dimension (B_n or (n-1)!!), measured rank over
+// GF(2) (full rank there certifies full rational rank), and the implied
+// deterministic communication bound log2(rank) from Lemma 1.28 of [KN97]
+// (Corollaries 2.4 and 4.2).
+#include <cstdio>
+
+#include "bcc_lb.h"
+
+using namespace bcclb;
+
+int main() {
+  std::printf("E5: join-matrix ranks (Theorem 2.3, Lemma 4.1)\n");
+  std::printf("%-6s %2s %9s %9s %6s %12s\n", "matrix", "n", "dim", "rank", "full?",
+              "log2(rank)");
+
+  for (std::size_t n = 1; n <= 7; ++n) {
+    const RankReport r = partition_matrix_rank(n);
+    std::printf("M_%-4zu %2zu %9zu %9zu %6s %12.2f\n", n, n, r.dimension,
+                std::max(r.rank_gf2, r.rank_modp), r.full_rank ? "yes" : "NO",
+                r.log_rank_bound());
+  }
+  for (std::size_t n : {2u, 4u, 6u, 8u, 10u}) {
+    const RankReport r = two_partition_matrix_rank(n);
+    std::printf("E_%-4zu %2zu %9zu %9zu %6s %12.2f\n", n, n, r.dimension,
+                std::max(r.rank_gf2, r.rank_modp), r.full_rank ? "yes" : "NO",
+                r.log_rank_bound());
+  }
+
+  std::printf("\nClosed forms beyond exhaustive sizes (Theorem 2.3 says rank = dim):\n");
+  std::printf("%6s %14s %14s\n", "n", "log2(B_n)", "log2((n-1)!!)");
+  for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+    std::printf("%6zu %14.1f %14.1f\n", n, partition_cc_lower_bound(n),
+                two_partition_cc_lower_bound(n));
+  }
+  std::printf(
+      "\nPaper prediction: every measured rank equals the dimension (full rank), so\n"
+      "CC(Partition) >= log2(B_n) and CC(TwoPartition) >= log2((n-1)!!), both\n"
+      "Omega(n log n).\n");
+  return 0;
+}

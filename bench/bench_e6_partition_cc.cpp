@@ -1,0 +1,63 @@
+// E6 — Corollaries 2.4 / 4.2: the Θ(n log n) sandwich on the deterministic
+// communication complexity of Partition and TwoPartition.
+//
+// Series reported, per n: the log-rank lower bound, the measured cost of
+// the trivial components protocol (upper bound), the measured cost of the
+// matching-index protocol for TwoPartition, and the ratio upper/lower.
+// Also a correctness sweep: the protocols run on random inputs and must
+// agree with the lattice join.
+#include <cmath>
+#include <cstdio>
+
+#include "bcc_lb.h"
+#include "common/mathutil.h"
+
+using namespace bcclb;
+
+int main() {
+  std::printf("E6: Partition communication complexity sandwich (Cor. 2.4 / 4.2)\n");
+  std::printf("%6s | %12s %12s %8s | %14s %14s\n", "n", "lower(bits)", "upper(bits)", "ratio",
+              "2P-lower", "2P-index-cost");
+  for (std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    const double lower = partition_cc_lower_bound(n);
+    const double upper = static_cast<double>(components_protocol_cost(n));
+    const double lower2 = two_partition_cc_lower_bound(n);
+    // The matching-index protocol's exact cost (encoder supports n <= 32).
+    const double index_cost =
+        n <= 32 ? static_cast<double>(ceil_log2(num_perfect_matchings(n))) : -1.0;
+    std::printf("%6zu | %12.1f %12.1f %8.2f | %14.1f %14.1f\n", n, lower, upper, upper / lower,
+                lower2, index_cost);
+  }
+
+  // Measured protocol executions.
+  std::printf("\nmeasured runs (deterministic protocols, random inputs):\n");
+  Rng rng(23);
+  std::printf("%6s | %18s %18s %10s\n", "n", "decision-bits", "comp-bits", "correct");
+  for (std::size_t n : {8u, 16u, 32u, 64u}) {
+    std::size_t ok = 0;
+    std::uint64_t dec_bits = 0, comp_bits = 0;
+    const int trials = 10;
+    for (int i = 0; i < trials; ++i) {
+      const SetPartition pa = uniform_partition(n, rng);
+      const SetPartition pb = uniform_partition(n, rng);
+      PartitionDecisionAlice da(pa);
+      PartitionDecisionBob db(pb);
+      dec_bits += run_protocol(da, db, 3).total_bits();
+      if (db.join_is_one() == pa.join(pb).is_coarsest()) ++ok;
+
+      PartitionCompAlice ca(pa);
+      PartitionCompBob cb(pb);
+      comp_bits += run_protocol(ca, cb, 3).total_bits();
+      if (cb.join() == pa.join(pb)) ++ok;
+    }
+    std::printf("%6zu | %18.1f %18.1f %7zu/%d\n", n,
+                static_cast<double>(dec_bits) / trials,
+                static_cast<double>(comp_bits) / trials, ok, 2 * trials);
+  }
+
+  std::printf(
+      "\nPaper prediction: lower and upper curves are both Theta(n log n) with the\n"
+      "ratio settling near a small constant — the trivial protocol is optimal up to\n"
+      "constants, and no deterministic protocol beats log2(B_n) bits.\n");
+  return 0;
+}

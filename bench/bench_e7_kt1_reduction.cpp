@@ -1,0 +1,73 @@
+// E7 — Figure 2, Theorem 4.3 and Theorem 4.4: the KT-1 reduction pipeline,
+// end to end and bit-counted.
+//
+// Series reported:
+//   (a) Theorem 4.3 correctness sweep: components on L == PA ∨ PB over
+//       random Partition and TwoPartition inputs.
+//   (b) The Section 4.3 simulation of a real KT-1 BCC algorithm (Boruvka):
+//       BCC rounds, measured protocol bits, bits/round — the O(rn)
+//       accounting Theorem 4.4 combines with the Ω(n log n) bound.
+//   (c) The implied round lower bounds: log2(B_n) / (per-round bits) and
+//       log2((n-1)!!) / (per-round bits), growing as Ω(log n).
+#include <cmath>
+#include <cstdio>
+
+#include "bcc_lb.h"
+
+using namespace bcclb;
+
+int main() {
+  std::printf("E7: KT-1 reductions and the Theorem 4.4 accounting\n\n");
+
+  std::printf("(a) Theorem 4.3 sweeps\n");
+  Rng rng(31);
+  std::size_t ok = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    const std::size_t n = 4 + rng.next_below(20);
+    const SetPartition pa = uniform_partition(n, rng);
+    const SetPartition pb = uniform_partition(n, rng);
+    if (build_partition_reduction(pa, pb).components_on_l() == pa.join(pb)) ++ok;
+  }
+  std::printf("  Partition variant   : %zu/%d joins recovered from components\n", ok, trials);
+  ok = 0;
+  for (int i = 0; i < trials; ++i) {
+    const std::size_t n = 2 * (2 + rng.next_below(10));
+    const SetPartition pa = random_perfect_matching(n, rng);
+    const SetPartition pb = random_perfect_matching(n, rng);
+    const auto red = build_two_partition_reduction(pa, pb);
+    if (red.components_on_l() == pa.join(pb) && red.shortest_cycle() >= 4) ++ok;
+  }
+  std::printf("  TwoPartition variant: %zu/%d (all 2-regular, cycles >= 4)\n\n", ok, trials);
+
+  std::printf("(b) Section 4.3 simulation of Boruvka on G(PA, PB), b = 4\n");
+  std::printf("%4s | %6s %6s | %8s %10s %10s | %7s\n", "n", "4n", "rounds", "bits/rd",
+              "bits", "t*n scale", "correct");
+  for (std::size_t n : {4u, 8u, 16u, 32u}) {
+    const SetPartition pa = uniform_partition(n, rng);
+    const SetPartition pb = uniform_partition(n, rng);
+    const auto out = solve_partition_via_bcc(pa, pb, boruvka_factory(), 4, 800);
+    const bool correct = out.sim.decision == out.expected_join_is_one &&
+                         out.recovered_join.has_value() &&
+                         *out.recovered_join == out.expected_join;
+    std::printf("%4zu | %6zu %6u | %8llu %10llu %10.1f | %7s\n", n, 4 * n, out.sim.bcc_rounds,
+                static_cast<unsigned long long>(out.sim.bits_per_round),
+                static_cast<unsigned long long>(out.sim.total_bits()),
+                static_cast<double>(out.sim.bcc_rounds) * 4 * static_cast<double>(n),
+                correct ? "yes" : "NO");
+  }
+
+  std::printf("\n(c) implied deterministic round lower bounds at b = 1\n");
+  std::printf("%6s %16s %16s %10s\n", "n", "Partition", "TwoPartition", "log2(n)");
+  for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+    std::printf("%6zu %16.2f %16.2f %10.2f\n", n,
+                kt1_round_lower_bound(n, partition_cc_lower_bound(n), 1),
+                kt1_round_lower_bound(n, two_partition_cc_lower_bound(n), 1),
+                std::log2(static_cast<double>(n)));
+  }
+  std::printf(
+      "\nPaper prediction: (a) perfect recovery (Theorem 4.3); (b) protocol bits grow\n"
+      "linearly in rounds*n; (c) both implied bounds track c*log2(n) — Theorem 4.4's\n"
+      "Omega(log n), with MultiCycle showing sparsity does not help.\n");
+  return 0;
+}

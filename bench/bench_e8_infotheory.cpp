@@ -1,0 +1,51 @@
+// E8 — Theorem 4.5: the information-theoretic ConnectedComponents bound.
+//
+// Under the hard distribution (PA uniform over all B_n partitions, PB the
+// finest partition), any ε-error PartitionComp protocol has
+// I(PA; Π) >= (1-ε) H(PA) - O(1) = Ω(n log n). Series reported: exact
+// mutual information of the exact and ε-error protocols vs the Fano-style
+// floor, and the implied BCC round bound I / (per-round bits).
+#include <cmath>
+#include <cstdio>
+
+#include "bcc_lb.h"
+
+using namespace bcclb;
+
+int main() {
+  std::printf("E8: PartitionComp information bound (Theorem 4.5)\n");
+  std::printf("%3s %6s | %6s %9s %10s %12s | %12s\n", "n", "keep", "eps", "H(PA)", "I(PA;Pi)",
+              "(1-eps)H-1", "rounds>=I/4nlg3");
+
+  for (std::size_t n : {5u, 6u, 7u, 8u, 9u}) {
+    for (const double keep : {1.0, 0.9, 0.75, 0.5}) {
+      const InfoReport r = partition_comp_information(n, keep);
+      std::printf("%3zu %6.2f | %6.3f %9.2f %10.2f %12.2f | %12.3f\n", n, keep,
+                  r.realized_error, r.h_pa, r.mutual_information, r.fano_floor,
+                  r.implied_bcc_rounds);
+    }
+  }
+
+  std::printf("\nTheorem 4.5 on a real algorithm: Boruvka through the Section 4.3\n");
+  std::printf("simulation (b = 4); correctness forces I(PA; Pi_sim) >= H(PA):\n");
+  std::printf("%3s | %9s %12s %10s %8s | %s\n", "n", "H(PA)", "I(PA;Pi)", "max-bits",
+              "rounds", "correct");
+  for (std::size_t n : {4u, 5u, 6u}) {
+    const BccInfoReport r = bcc_simulation_information(n, 4);
+    std::printf("%3zu | %9.2f %12.2f %10llu %8u | %s\n", n, r.h_pa,
+                r.transcript_information, static_cast<unsigned long long>(r.max_bits),
+                r.max_rounds, r.all_correct ? "yes" : "NO");
+  }
+
+  std::printf("\nclosed-form H(PA) = log2(B_n) growth (the Ω(n log n) driver):\n");
+  std::printf("%6s %14s %18s\n", "n", "log2(B_n)", "/(n log2 n)");
+  for (std::size_t n : {16u, 64u, 256u, 512u}) {
+    const double h = log2_bell(n);
+    std::printf("%6zu %14.1f %18.3f\n", n, h, h / (n * std::log2(static_cast<double>(n))));
+  }
+  std::printf(
+      "\nPaper prediction: I >= (1-eps) H(PA) - O(1) for every eps-error protocol;\n"
+      "H(PA) = Theta(n log n); dividing by the O(n) per-round simulation cost gives\n"
+      "the Omega(log n) randomized ConnectedComponents bound (Theorem 4.5).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// E9 — Section 1.1 tightness: measured upper bounds against the Ω(log n)
+// lower-bound curve.
+//
+// Series reported, per n and workload: rounds of min-ID flooding (Θ(n)),
+// Boruvka-over-broadcast at b = Θ(log n) (Θ(log n) — the regime where the
+// paper's bound is tight for sparse graphs), randomized AGM-sketch
+// connectivity (polylog bits, Monte Carlo), and the log2(n)/b reference.
+#include <cmath>
+#include <cstdio>
+
+#include "bcc_lb.h"
+
+using namespace bcclb;
+
+int main() {
+  std::printf("E9: upper-bound round counts vs the lower-bound curve\n");
+  std::printf("%-10s %4s %3s | %7s %8s %8s | %9s %8s | %s\n", "workload", "n", "b", "flood",
+              "boruvka", "sketch", "skbits/v", "lg(n)/b", "all-correct");
+
+  Rng rng(41);
+  for (std::size_t n : {8u, 16u, 32u, 64u}) {
+    const unsigned b = std::max(1u, static_cast<unsigned>(std::ceil(std::log2(n))) + 1);
+    struct Workload {
+      const char* name;
+      Graph g;
+    };
+    std::vector<Workload> workloads;
+    workloads.push_back({"one-cycle", random_one_cycle(n, rng).to_graph()});
+    workloads.push_back({"two-cycle", random_two_cycle(n, rng).to_graph()});
+    workloads.push_back({"forest", random_forest(n, 2, rng)});
+    workloads.push_back({"gnp-sparse", random_gnp(n, 1.5 / static_cast<double>(n), rng)});
+    for (auto& w : workloads) {
+      const auto p = measure_upper_bounds(w.g, b, w.name, 1000 + n);
+      const bool all = p.flood_correct && p.boruvka_correct && p.sketch_correct;
+      // Arboricity: the [MT16] tightness condition — all these workloads are
+      // uniformly sparse (arboricity <= 2-3), the regime where Omega(log n)
+      // is tight.
+      std::printf("%-10s %4zu %3u | %7u %8u %8u | %9llu %8.2f | %-7s arb<=%zu\n", w.name, n,
+                  b, p.flood_rounds, p.boruvka_rounds, p.sketch_rounds,
+                  static_cast<unsigned long long>(p.sketch_bits_per_vertex),
+                  std::log2(static_cast<double>(n)) / b, all ? "yes" : "NO(MC)",
+                  arboricity_upper_bound(w.g));
+    }
+  }
+
+  std::printf("\nBCC(1) regime (b = 1), Boruvka rounds = phases * (1 + ceil(log2 n)):\n");
+  std::printf("%6s %10s %12s %12s\n", "n", "boruvka@1", "c*log^2(n)", "lower(log n)");
+  for (std::size_t n : {8u, 16u, 32u, 64u}) {
+    const Graph g = random_one_cycle(n, rng).to_graph();
+    const auto p = measure_upper_bounds(g, 1, "one-cycle", 7, /*run_flood=*/false,
+                                        /*run_sketch=*/false);
+    const double lg = std::log2(static_cast<double>(n));
+    std::printf("%6zu %10u %12.1f %12.1f\n", n, p.boruvka_rounds, lg * (lg + 1), lg);
+  }
+  std::printf(
+      "\nPaper prediction: flooding is Theta(n); Boruvka at b = Theta(log n) is\n"
+      "Theta(log n) — matching the Omega(log n) lower bound on sparse inputs\n"
+      "(tightness, Section 1.1); at b = 1 the deterministic upper bound pays an\n"
+      "extra log factor (the [MT16] O(log n) BCC(1) result closes it for constant\n"
+      "arboricity; our randomized sketches substitute it, see DESIGN.md).\n");
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Microbenchmarks (google-benchmark): the hot operations behind the
+// experiment harnesses — partition joins, crossings, indistinguishability
+// graph construction, matrix rank, simulator rounds, sketch updates.
+#include <benchmark/benchmark.h>
+
+#include "bcc_lb.h"
+#include "linalg/gf2_matrix.h"
+#include "partition/join_matrix.h"
+#include "crossing/instance_counts.h"
+#include "partition/moebius.h"
+#include "sketch/l0_sampler.h"
+
+namespace bcclb {
+namespace {
+
+void BM_PartitionJoin(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const SetPartition pa = uniform_partition(n, rng);
+  const SetPartition pb = uniform_partition(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pa.join(pb));
+  }
+}
+BENCHMARK(BM_PartitionJoin)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_UniformPartitionSample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uniform_partition(n, rng));
+  }
+}
+BENCHMARK(BM_UniformPartitionSample)->Arg(16)->Arg(64);
+
+void BM_StructureCrossing(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const CycleStructure cs = random_one_cycle(n, rng);
+  const auto edges = cs.directed_edges();
+  DirectedEdge e1 = edges[0], e2 = edges[0];
+  for (std::size_t a = 0; a < edges.size(); ++a) {
+    for (std::size_t b = a + 1; b < edges.size(); ++b) {
+      if (cs.edges_independent(edges[a], edges[b])) {
+        e1 = edges[a];
+        e2 = edges[b];
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs.crossed(e1, e2));
+  }
+}
+BENCHMARK(BM_StructureCrossing)->Arg(16)->Arg(64);
+
+void BM_PortPreservingCrossing(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const CycleStructure cs = random_one_cycle(n, rng);
+  const BccInstance inst = random_kt0_instance(cs, rng);
+  const auto edges = cs.directed_edges();
+  DirectedEdge e1 = edges[0], e2 = edges[3 % edges.size()];
+  for (std::size_t a = 0; a < edges.size(); ++a) {
+    for (std::size_t b = a + 1; b < edges.size(); ++b) {
+      if (cs.edges_independent(edges[a], edges[b])) {
+        e1 = edges[a];
+        e2 = edges[b];
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(port_preserving_crossing(inst, e1, e2));
+  }
+}
+BENCHMARK(BM_PortPreservingCrossing)->Arg(16)->Arg(64);
+
+void BM_IndistGraphBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_indistinguishability_graph(n, all_edges_active()));
+  }
+}
+BENCHMARK(BM_IndistGraphBuild)->Arg(6)->Arg(7)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_Gf2Rank(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const BoolMatrix m = partition_join_matrix(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Gf2Matrix::from_bool_matrix(m).rank());
+  }
+}
+BENCHMARK(BM_Gf2Rank)->Arg(5)->Arg(6)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorBoruvka(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const Graph g = random_one_cycle(n, rng).to_graph();
+  const BccInstance inst = BccInstance::kt1(g);
+  const unsigned b = 8;
+  for (auto _ : state) {
+    BccSimulator sim(inst, b);
+    benchmark::DoNotOptimize(sim.run(boruvka_factory(), BoruvkaAlgorithm::max_rounds(n, b)));
+  }
+}
+BENCHMARK(BM_SimulatorBoruvka)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_SketchUpdate(benchmark::State& state) {
+  L0Sampler s({1u << 20, 7, 0});
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    s.update(i++ % (1u << 20), 1);
+  }
+}
+BENCHMARK(BM_SketchUpdate);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = build_indistinguishability_graph(n, all_edges_active());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_bipartite_matching(g.adj, g.two_cycles.size()));
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(7)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_BellNumberExact(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bell_number(n).log2());
+  }
+}
+BENCHMARK(BM_BellNumberExact)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_PartitionIndex(benchmark::State& state) {
+  Rng rng(8);
+  const SetPartition p = uniform_partition(20, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_index(p));
+  }
+}
+BENCHMARK(BM_PartitionIndex);
+
+void BM_MoebiusLattice(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moebius_from_finest(n));
+  }
+}
+BENCHMARK(BM_MoebiusLattice)->Arg(5)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_InstanceCountClosedForm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(two_to_one_cycle_ratio(n));
+  }
+}
+BENCHMARK(BM_InstanceCountClosedForm)->Arg(64)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_RandomizedPlsVerify(benchmark::State& state) {
+  Rng rng(9);
+  const BccInstance inst = BccInstance::kt1(random_one_cycle(64, rng).to_graph());
+  const auto labels = prove_randomized_connectivity(inst);
+  const PublicCoins coins(3, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_randomized_pls(inst, labels, 8, coins));
+  }
+}
+BENCHMARK(BM_RandomizedPlsVerify)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bcclb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Lower-bound explorer: run the paper's three lower-bound engines end to end
+// on adjustable parameters and print what each one certifies.
+//
+// Usage: lower_bound_explorer [n_kt0] [t] [n_partition]
+//   n_kt0        instance size for the KT-0 experiments (6..9, default 7)
+//   t            rounds the adversary runs (default 2)
+//   n_partition  ground-set size for the KT-1/information experiments
+//                (<= 9, default 7)
+#include <cstdio>
+#include <cstdlib>
+
+#include "bcc_lb.h"
+
+using namespace bcclb;
+
+int main(int argc, char** argv) {
+  const std::size_t n_kt0 = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 7;
+  const unsigned t = argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10)) : 2;
+  const std::size_t n_part = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 7;
+
+  std::printf("bcc_lb lower-bound explorer\n");
+  std::printf("===========================\n");
+
+  // ---- Engine 1: KT-0 randomized (Theorem 3.1) -------------------------------
+  std::printf("\n[1] KT-0 TwoCycle, indistinguishability graph (n = %zu, t = %u)\n", n_kt0, t);
+  const PublicCoins coins(42, 4096);
+  for (const AdversaryKind kind : all_adversary_kinds()) {
+    const auto factory = two_cycle_adversary_factory(kind, t, always_yes_rule());
+    const auto rep = kt0_matching_experiment(n_kt0, t, factory, &coins);
+    std::printf(
+        "  %-12s |V1|=%zu |V2|=%zu best-label=%-8s matching=%zu  certified-error>=%.4f"
+        "  measured=%.4f\n",
+        adversary_kind_name(kind), rep.v1, rep.v2, rep.best_label.c_str(), rep.max_matching,
+        rep.matching_error_bound, rep.measured_error);
+  }
+
+  // ---- Engine 2: KT-1 deterministic (Theorem 4.4) ----------------------------
+  std::printf("\n[2] KT-1 deterministic, log-rank accounting (ground n = %zu)\n", n_part);
+  if (n_part <= 8) {
+    const RankReport r = partition_matrix_rank(std::min<std::size_t>(n_part, 7));
+    std::printf("  rank(M_%zu) = %zu / %zu (%s) -> CC(Partition) >= %.1f bits\n",
+                std::min<std::size_t>(n_part, 7), std::max(r.rank_gf2, r.rank_modp),
+                r.dimension, r.full_rank ? "full" : "NOT FULL", r.log_rank_bound());
+  }
+  for (std::size_t n : {64u, 256u, 1024u}) {
+    const double cc = partition_cc_lower_bound(n);
+    std::printf("  n=%-5zu log2(B_n)=%-9.1f trivial-protocol=%-8llu rounds(b=1) >= %.2f\n", n,
+                cc, static_cast<unsigned long long>(components_protocol_cost(n)),
+                kt1_round_lower_bound(n, cc, 1));
+  }
+
+  // ---- Engine 3: information-theoretic (Theorem 4.5) -------------------------
+  std::printf("\n[3] ConnectedComponents via PartitionComp information (n = %zu)\n", n_part);
+  for (const double keep : {1.0, 0.8, 0.5}) {
+    const InfoReport r = partition_comp_information(n_part, keep);
+    std::printf(
+        "  keep=%.2f  eps=%.3f  H(PA)=%.2f  I(PA;Pi)=%.2f  (1-eps)H-1=%.2f"
+        "  implied rounds>=%.2f\n",
+        keep, r.realized_error, r.h_pa, r.mutual_information, r.fano_floor,
+        r.implied_bcc_rounds);
+  }
+
+  std::printf(
+      "\nReading: [1] certifies constant error for o(log n)-round KT-0 algorithms;\n"
+      "[2] the deterministic KT-1 Omega(log n) bound; [3] the same for constant-error\n"
+      "Monte Carlo ConnectedComponents. See EXPERIMENTS.md for the full sweeps.\n");
+  return 0;
+}

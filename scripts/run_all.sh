@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every experiment into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for b in build/bench/bench_e*; do
+  name=$(basename "$b")
+  echo "== $name"
+  "$b" | tee "results/$name.txt"
+done
+./build/bench/bench_micro --benchmark_min_time=0.05 | tee results/bench_micro.txt
+echo "All experiment outputs written to results/."

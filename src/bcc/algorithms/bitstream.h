@@ -1,0 +1,90 @@
+// Splitting multi-word payloads across b-bit broadcast rounds.
+//
+// The BCC(b) algorithms often need to ship a W-bit payload with W > b;
+// BitQueue feeds it out ceil(W/b) rounds at a time, and BitAccumulator
+// reassembles the peer side. All algorithms that use these run in lockstep
+// (every vertex ships the same payload size per phase), so no framing is
+// needed beyond the shared round count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bcc/message.h"
+#include "common/check.h"
+
+namespace bcclb {
+
+class BitQueue {
+ public:
+  void push_word(std::uint64_t word, unsigned bits) {
+    BCCLB_REQUIRE(bits >= 1 && bits <= 64, "word width out of range");
+    for (unsigned i = 0; i < bits; ++i) bits_.push_back((word >> i) & 1);
+  }
+
+  void push_words(const std::vector<std::uint64_t>& words) {
+    for (std::uint64_t w : words) push_word(w, 64);
+  }
+
+  bool empty() const { return pos_ >= bits_.size(); }
+
+  std::size_t remaining() const { return bits_.size() - pos_; }
+
+  // Pops up to `bandwidth` bits as one message; silent when drained.
+  Message pop(unsigned bandwidth) {
+    if (empty()) return Message::silent();
+    const unsigned take =
+        static_cast<unsigned>(std::min<std::size_t>(bandwidth, remaining()));
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < take; ++i) {
+      if (bits_[pos_ + i]) value |= (1ULL << i);
+    }
+    pos_ += take;
+    return Message::bits(value, take);
+  }
+
+ private:
+  std::vector<bool> bits_;
+  std::size_t pos_ = 0;
+};
+
+class BitAccumulator {
+ public:
+  void add(const Message& m) {
+    for (unsigned i = 0; i < m.num_bits(); ++i) bits_.push_back(m.bit(i));
+  }
+
+  std::size_t size_bits() const { return bits_.size(); }
+
+  std::uint64_t word(std::size_t index) const {
+    BCCLB_REQUIRE((index + 1) * 64 <= bits_.size(), "word index out of range");
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < 64; ++i) {
+      if (bits_[index * 64 + i]) value |= (1ULL << i);
+    }
+    return value;
+  }
+
+  std::uint64_t bits_as_word(std::size_t start, unsigned width) const {
+    BCCLB_REQUIRE(width <= 64 && start + width <= bits_.size(), "range out of bounds");
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < width; ++i) {
+      if (bits_[start + i]) value |= (1ULL << i);
+    }
+    return value;
+  }
+
+  std::vector<std::uint64_t> words() const {
+    BCCLB_REQUIRE(bits_.size() % 64 == 0, "bit count is not word-aligned");
+    std::vector<std::uint64_t> out(bits_.size() / 64);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = word(i);
+    return out;
+  }
+
+  void clear() { bits_.clear(); }
+
+ private:
+  std::vector<bool> bits_;
+};
+
+}  // namespace bcclb

@@ -1,0 +1,140 @@
+#include "bcc/algorithms/boruvka.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace bcclb {
+
+namespace {
+
+// Rank of `id` in the sorted ID list (KT-1 vertices all know all IDs, so
+// ranks are a shared compact renaming of IDs).
+std::uint32_t rank_of(const std::vector<std::uint64_t>& sorted_ids, std::uint64_t id) {
+  const auto it = std::lower_bound(sorted_ids.begin(), sorted_ids.end(), id);
+  BCCLB_CHECK(it != sorted_ids.end() && *it == id, "id not found in global ID list");
+  return static_cast<std::uint32_t>(it - sorted_ids.begin());
+}
+
+}  // namespace
+
+void BoruvkaAlgorithm::init(const LocalView& view) {
+  BCCLB_REQUIRE(view.mode == KnowledgeMode::kKT1, "Boruvka-over-broadcast needs KT-1");
+  view_ = view;
+  width_ = std::max(1u, ceil_log2(view.n));
+  phase_msg_bits_ = 1 + width_;
+  rounds_per_phase_ = (phase_msg_bits_ + view.bandwidth - 1) / view.bandwidth;
+
+  my_rank_ = rank_of(view.all_ids, view.id);
+  for (Port p : view.input_ports) {
+    my_rank_neighbors_.push_back(rank_of(view.all_ids, view.port_peer_ids[p]));
+  }
+  std::sort(my_rank_neighbors_.begin(), my_rank_neighbors_.end());
+
+  labels_.resize(view.n);
+  for (std::size_t i = 0; i < view.n; ++i) labels_[i] = static_cast<std::uint32_t>(i);
+
+  rx_.resize(view.n);
+  start_phase();
+}
+
+void BoruvkaAlgorithm::start_phase() {
+  // Proposal: the minimum-rank neighbor in a different component, or the
+  // has-edge flag cleared when none exists.
+  std::uint64_t payload = 0;  // bit 0: has-edge; bits 1..width_: target rank
+  for (std::uint32_t nb : my_rank_neighbors_) {
+    if (labels_[nb] != labels_[my_rank_]) {
+      payload = 1 | (static_cast<std::uint64_t>(nb) << 1);
+      break;
+    }
+  }
+  tx_ = BitQueue();
+  tx_.push_word(payload, phase_msg_bits_);
+  round_in_phase_ = 0;
+  for (auto& acc : rx_) acc.clear();
+}
+
+Message BoruvkaAlgorithm::broadcast(unsigned round) {
+  (void)round;
+  if (done_) return Message::silent();
+  return tx_.pop(view_.bandwidth);
+}
+
+void BoruvkaAlgorithm::receive(unsigned round, std::span<const Message> inbox) {
+  (void)round;
+  if (done_) return;
+  // Accumulate this round's fragment from every peer (and mirror our own).
+  for (Port p = 0; p + 1 < view_.n; ++p) {
+    rx_[rank_of(view_.all_ids, view_.port_peer_ids[p])].add(inbox[p]);
+  }
+  ++round_in_phase_;
+  if (round_in_phase_ < rounds_per_phase_) return;
+
+  // Phase complete: decode everyone's proposal. Our own proposal is not in
+  // the inbox; recompute it the same way start_phase did.
+  std::vector<std::uint64_t> proposals(view_.n, 0);
+  for (std::uint32_t r = 0; r < view_.n; ++r) {
+    if (r == my_rank_) {
+      for (std::uint32_t nb : my_rank_neighbors_) {
+        if (labels_[nb] != labels_[my_rank_]) {
+          proposals[r] = 1 | (static_cast<std::uint64_t>(nb) << 1);
+          break;
+        }
+      }
+    } else {
+      BCCLB_CHECK(rx_[r].size_bits() >= phase_msg_bits_, "short phase message");
+      proposals[r] = rx_[r].bits_as_word(0, phase_msg_bits_);
+    }
+  }
+  process_phase(proposals);
+  if (!done_) start_phase();
+}
+
+void BoruvkaAlgorithm::process_phase(const std::vector<std::uint64_t>& proposals) {
+  // Identical at every vertex: merge along all proposed edges.
+  UnionFind uf(view_.n);
+  // Seed with current labeling.
+  for (std::uint32_t r = 0; r < view_.n; ++r) uf.unite(r, labels_[r]);
+  bool merged_any = false;
+  for (std::uint32_t r = 0; r < view_.n; ++r) {
+    if (proposals[r] & 1) {
+      const std::uint32_t target = static_cast<std::uint32_t>(proposals[r] >> 1);
+      BCCLB_REQUIRE(target < view_.n, "proposal target out of range");
+      merged_any = uf.unite(r, target) || merged_any;
+    }
+  }
+  const auto canon = uf.canonical_labels();
+  for (std::uint32_t r = 0; r < view_.n; ++r) labels_[r] = static_cast<std::uint32_t>(canon[r]);
+  if (!merged_any) done_ = true;
+}
+
+bool BoruvkaAlgorithm::finished() const { return done_; }
+
+bool BoruvkaAlgorithm::decide() const {
+  // Connected iff a single label remains.
+  return std::all_of(labels_.begin(), labels_.end(),
+                     [&](std::uint32_t l) { return l == labels_[0]; });
+}
+
+std::optional<std::uint64_t> BoruvkaAlgorithm::component_label() const {
+  // Smallest ID in our component (ranks order IDs, so the min rank works).
+  const std::uint32_t root = labels_[my_rank_];
+  for (std::uint32_t r = 0; r < view_.n; ++r) {
+    if (labels_[r] == root) return view_.all_ids[r];
+  }
+  return std::nullopt;
+}
+
+unsigned BoruvkaAlgorithm::max_rounds(std::size_t n, unsigned bandwidth) {
+  const unsigned width = std::max(1u, ceil_log2(n));
+  const unsigned per_phase = (1 + width + bandwidth - 1) / bandwidth;
+  // ceil(log2 n) merge phases plus one quiescent detection phase.
+  return (ceil_log2(std::max<std::size_t>(n, 2)) + 2) * per_phase;
+}
+
+AlgorithmFactory boruvka_factory() {
+  return [] { return std::make_unique<BoruvkaAlgorithm>(); };
+}
+
+}  // namespace bcclb

@@ -1,0 +1,119 @@
+#include "bcc/algorithms/disjointness.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+bool sets_disjoint(const DisjointnessInput& input) {
+  BCCLB_REQUIRE(input.a.size() == input.b.size(), "universe sizes differ");
+  for (std::size_t k = 0; k < input.a.size(); ++k) {
+    if (input.a[k] && input.b[k]) return false;
+  }
+  return true;
+}
+
+DisjointnessAlgorithm::DisjointnessAlgorithm(DisjointnessInput input, unsigned range)
+    : input_(std::move(input)), range_(range) {
+  BCCLB_REQUIRE(range_ >= 1, "range must be positive");
+}
+
+unsigned DisjointnessAlgorithm::rounds_needed(std::size_t n, unsigned range,
+                                              unsigned bandwidth) {
+  const std::size_t m = n - 2;
+  const std::size_t per_round = static_cast<std::size_t>(range) * bandwidth;
+  return static_cast<unsigned>((m + per_round - 1) / per_round) + 2;
+}
+
+void DisjointnessAlgorithm::init(const LocalView& view) {
+  BCCLB_REQUIRE(view.mode == KnowledgeMode::kKT1,
+                "the disjointness protocol addresses helpers by ID");
+  BCCLB_REQUIRE(view.n >= 3, "need at least one helper");
+  view_ = view;
+  m_ = view.n - 2;
+  BCCLB_REQUIRE(input_.a.size() == m_ && input_.b.size() == m_,
+                "input universe must have n - 2 elements");
+  role_ = view.id == 0 ? Role::kAlice : (view.id == 1 ? Role::kBob : Role::kHelper);
+  const std::size_t per_round = static_cast<std::size_t>(range_) * view.bandwidth;
+  phase1_rounds_ = static_cast<unsigned>((m_ + per_round - 1) / per_round);
+}
+
+std::vector<Message> DisjointnessAlgorithm::send(unsigned round) {
+  std::vector<Message> out(view_.n - 1, Message::silent());
+  const unsigned b = view_.bandwidth;
+
+  if (round < phase1_rounds_ && role_ == Role::kAlice) {
+    // Address the r groups scheduled this round; helpers of group j get the
+    // packed bits A[j*b .. j*b + b - 1].
+    for (Port p = 0; p + 1 < view_.n; ++p) {
+      const std::uint64_t peer = view_.port_peer_ids[p];
+      if (peer < 2) continue;
+      const std::size_t k = static_cast<std::size_t>(peer) - 2;
+      const std::size_t group = k / b;
+      if (group / range_ != round) continue;
+      std::uint64_t packed = 0;
+      for (unsigned i = 0; i < b; ++i) {
+        const std::size_t idx = group * b + i;
+        if (idx < m_ && input_.a[idx]) packed |= (1ULL << i);
+      }
+      out[p] = Message::bits(packed, b);
+    }
+  } else if (round == phase1_rounds_ && role_ == Role::kHelper) {
+    // Forward my element's A-membership to Bob (node 1).
+    for (Port p = 0; p + 1 < view_.n; ++p) {
+      if (view_.port_peer_ids[p] == 1) out[p] = Message::one_bit(my_bit_);
+    }
+  } else if (round == phase1_rounds_ + 1 && role_ == Role::kBob) {
+    // Broadcast the verdict.
+    for (auto& msg : out) msg = Message::one_bit(answer_);
+  }
+  return out;
+}
+
+void DisjointnessAlgorithm::receive(unsigned round, std::span<const Message> inbox) {
+  const unsigned b = view_.bandwidth;
+  if (round < phase1_rounds_ && role_ == Role::kHelper) {
+    const std::size_t k = static_cast<std::size_t>(view_.id) - 2;
+    const std::size_t group = k / b;
+    if (group / range_ == round) {
+      for (Port p = 0; p + 1 < view_.n; ++p) {
+        if (view_.port_peer_ids[p] == 0) {
+          BCCLB_CHECK(!inbox[p].is_silent(), "expected my group's message from Alice");
+          my_bit_ = inbox[p].bit(static_cast<unsigned>(k - group * b));
+          have_bit_ = true;
+        }
+      }
+    }
+  } else if (round == phase1_rounds_ && role_ == Role::kBob) {
+    // Collect every helper's A-bit and intersect with B locally.
+    answer_ = true;
+    for (Port p = 0; p + 1 < view_.n; ++p) {
+      const std::uint64_t peer = view_.port_peer_ids[p];
+      if (peer < 2) continue;
+      const std::size_t k = static_cast<std::size_t>(peer) - 2;
+      BCCLB_CHECK(!inbox[p].is_silent(), "expected a bit from every helper");
+      if (inbox[p].bit(0) && input_.b[k]) answer_ = false;
+    }
+  } else if (round == phase1_rounds_ + 1) {
+    if (role_ != Role::kBob) {
+      for (Port p = 0; p + 1 < view_.n; ++p) {
+        if (view_.port_peer_ids[p] == 1) answer_ = inbox[p].bit(0);
+      }
+    }
+    done_ = true;
+  }
+}
+
+bool DisjointnessAlgorithm::finished() const { return done_; }
+
+bool DisjointnessAlgorithm::decide() const {
+  BCCLB_REQUIRE(done_, "decision read before the protocol finished");
+  return answer_;
+}
+
+RangeAlgorithmFactory disjointness_factory(DisjointnessInput input, unsigned range) {
+  return [input, range] { return std::make_unique<DisjointnessAlgorithm>(input, range); };
+}
+
+}  // namespace bcclb

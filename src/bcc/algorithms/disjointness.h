@@ -1,0 +1,62 @@
+// Two-party set disjointness embedded in the congested clique — the Becker
+// et al. range-sensitivity phenomenon the paper cites in Section 1.3.
+//
+// Node 0 (Alice) holds A ⊆ [m] and node 1 (Bob) holds B ⊆ [m], with
+// m = n - 2; nodes 2..n-1 are helpers, helper k+2 owning universe element k.
+// The protocol: Alice ships A to the helpers in ceil(m / (r·b)) rounds (with
+// range r she can address r groups of b elements per round), every helper
+// forwards its bit to Bob in ONE round (receiving is per-port, so Bob takes
+// in m bits at once), and Bob broadcasts the verdict. Total
+// ceil(m/(r·b)) + 2 rounds:
+//   r = 1   (BCC)  ->  Θ(n/b) rounds — matching the Ω(n/b) cut bound the
+//                      paper quotes from [Bec+16],
+//   r = n-1 (CC)   ->  O(1) rounds.
+#pragma once
+
+#include <vector>
+
+#include "bcc/range_model.h"
+
+namespace bcclb {
+
+struct DisjointnessInput {
+  std::vector<bool> a;  // Alice's set, |a| = n - 2
+  std::vector<bool> b;  // Bob's set
+};
+
+// True iff the sets share no element (the YES answer of the protocol).
+bool sets_disjoint(const DisjointnessInput& input);
+
+class DisjointnessAlgorithm final : public RangeVertexAlgorithm {
+ public:
+  // Every vertex gets the same constructor arguments but uses only its own
+  // share (Alice reads .a, Bob reads .b, helpers read neither).
+  DisjointnessAlgorithm(DisjointnessInput input, unsigned range);
+
+  void init(const LocalView& view) override;
+  std::vector<Message> send(unsigned round) override;
+  void receive(unsigned round, std::span<const Message> inbox) override;
+  bool finished() const override;
+  bool decide() const override;
+
+  // Rounds the protocol needs at parameters (n, r, b).
+  static unsigned rounds_needed(std::size_t n, unsigned range, unsigned bandwidth);
+
+ private:
+  enum class Role { kAlice, kBob, kHelper };
+
+  DisjointnessInput input_;
+  unsigned range_;
+  LocalView view_;
+  Role role_ = Role::kHelper;
+  std::size_t m_ = 0;
+  unsigned phase1_rounds_ = 0;
+  bool my_bit_ = false;        // helper: its universe element's membership in A
+  bool have_bit_ = false;
+  bool answer_ = true;         // final verdict (YES = disjoint)
+  bool done_ = false;
+};
+
+RangeAlgorithmFactory disjointness_factory(DisjointnessInput input, unsigned range);
+
+}  // namespace bcclb

@@ -1,0 +1,77 @@
+#include "bcc/algorithms/kt0_bootstrap.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace bcclb {
+
+Kt0BootstrapAlgorithm::Kt0BootstrapAlgorithm(AlgorithmFactory inner_factory)
+    : inner_factory_(std::move(inner_factory)) {
+  BCCLB_REQUIRE(inner_factory_ != nullptr, "inner factory required");
+}
+
+unsigned Kt0BootstrapAlgorithm::bootstrap_rounds(std::size_t n, unsigned bandwidth) {
+  const unsigned w = std::max(1u, ceil_log2(n));
+  return (w + bandwidth - 1) / bandwidth;
+}
+
+void Kt0BootstrapAlgorithm::init(const LocalView& view) {
+  view_ = view;
+  const unsigned w = std::max(1u, ceil_log2(view.n));
+  BCCLB_REQUIRE(view.id < (1ULL << w), "bootstrap assumes IDs below n");
+  announce_rounds_ = bootstrap_rounds(view.n, view.bandwidth);
+  tx_.push_word(view.id, w);
+  rx_.resize(view.n - 1);
+}
+
+Message Kt0BootstrapAlgorithm::broadcast(unsigned round) {
+  if (round < announce_rounds_) return tx_.pop(view_.bandwidth);
+  BCCLB_CHECK(inner_ != nullptr, "inner algorithm missing after bootstrap");
+  return inner_->finished() ? Message::silent() : inner_->broadcast(round - announce_rounds_);
+}
+
+void Kt0BootstrapAlgorithm::receive(unsigned round, std::span<const Message> inbox) {
+  if (round < announce_rounds_) {
+    for (Port p = 0; p + 1 < view_.n; ++p) rx_[p].add(inbox[p]);
+    if (round + 1 == announce_rounds_) {
+      // Synthesize the KT-1 view and hand off.
+      const unsigned w = std::max(1u, ceil_log2(view_.n));
+      LocalView kt1 = view_;
+      kt1.mode = KnowledgeMode::kKT1;
+      kt1.port_peer_ids.clear();
+      for (Port p = 0; p + 1 < view_.n; ++p) {
+        BCCLB_CHECK(rx_[p].size_bits() >= w, "announcement truncated");
+        kt1.port_peer_ids.push_back(rx_[p].bits_as_word(0, w));
+      }
+      kt1.all_ids = kt1.port_peer_ids;
+      kt1.all_ids.push_back(view_.id);
+      std::sort(kt1.all_ids.begin(), kt1.all_ids.end());
+      inner_ = inner_factory_();
+      inner_->init(kt1);
+    }
+    return;
+  }
+  BCCLB_CHECK(inner_ != nullptr, "inner algorithm missing after bootstrap");
+  if (!inner_->finished()) inner_->receive(round - announce_rounds_, inbox);
+}
+
+bool Kt0BootstrapAlgorithm::finished() const { return inner_ != nullptr && inner_->finished(); }
+
+bool Kt0BootstrapAlgorithm::decide() const {
+  BCCLB_REQUIRE(inner_ != nullptr, "decision read before the bootstrap completed");
+  return inner_->decide();
+}
+
+std::optional<std::uint64_t> Kt0BootstrapAlgorithm::component_label() const {
+  return inner_ ? inner_->component_label() : std::nullopt;
+}
+
+AlgorithmFactory kt0_bootstrap(AlgorithmFactory kt1_algorithm) {
+  return [kt1_algorithm] {
+    return std::make_unique<Kt0BootstrapAlgorithm>(kt1_algorithm);
+  };
+}
+
+}  // namespace bcclb

@@ -1,0 +1,52 @@
+#include "bcc/algorithms/min_id_flood.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace bcclb {
+
+void MinIdFloodAlgorithm::init(const LocalView& view) {
+  view_ = view;
+  label_ = view.id;
+  // IDs must fit the bandwidth: this baseline does not split messages. The
+  // width covers any ID up to 2n (the default 0..n-1 IDs and the reduction's
+  // 1..4n IDs sweep below 2^width for width = ceil_log2(4n)).
+  width_ = std::max(1u, bit_width_u64(view.id));
+  BCCLB_REQUIRE(width_ <= view.bandwidth,
+                "min-ID flooding needs bandwidth >= bit width of IDs");
+  width_ = view.bandwidth;
+}
+
+Message MinIdFloodAlgorithm::broadcast(unsigned round) {
+  (void)round;
+  return Message::bits(label_, width_);
+}
+
+void MinIdFloodAlgorithm::receive(unsigned round, std::span<const Message> inbox) {
+  (void)round;
+  if (rounds_done_ + 1 < rounds_needed(view_.n)) {
+    // Flooding round: adopt the smallest label heard over input edges.
+    for (Port p : view_.input_ports) {
+      label_ = std::min(label_, inbox[p].value());
+    }
+  } else {
+    // Final round: everyone broadcast their (stable) label; check agreement.
+    all_equal_ = std::all_of(inbox.begin(), inbox.end(),
+                             [&](const Message& m) { return m.value() == label_; });
+  }
+  ++rounds_done_;
+}
+
+bool MinIdFloodAlgorithm::finished() const { return rounds_done_ >= rounds_needed(view_.n); }
+
+bool MinIdFloodAlgorithm::decide() const { return all_equal_; }
+
+std::optional<std::uint64_t> MinIdFloodAlgorithm::component_label() const { return label_; }
+
+AlgorithmFactory min_id_flood_factory() {
+  return [] { return std::make_unique<MinIdFloodAlgorithm>(); };
+}
+
+}  // namespace bcclb

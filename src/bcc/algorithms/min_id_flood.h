@@ -1,0 +1,38 @@
+// Min-ID flooding: the Θ(n)-round baseline for Connectivity and
+// ConnectedComponents.
+//
+// Every vertex repeatedly broadcasts the smallest ID it has heard along
+// input-graph edges; after n-1 rounds labels equal the component minima, and
+// one more round of broadcasts lets every vertex check whether all labels
+// agree (Connectivity) or output its label (ConnectedComponents). Works in
+// KT-0 — it never reads peer IDs, only input ports. Requires bandwidth wide
+// enough to carry an ID.
+#pragma once
+
+#include "bcc/simulator.h"
+
+namespace bcclb {
+
+class MinIdFloodAlgorithm final : public VertexAlgorithm {
+ public:
+  void init(const LocalView& view) override;
+  Message broadcast(unsigned round) override;
+  void receive(unsigned round, std::span<const Message> inbox) override;
+  bool finished() const override;
+  bool decide() const override;
+  std::optional<std::uint64_t> component_label() const override;
+
+  // Rounds this algorithm needs on an n-vertex instance.
+  static unsigned rounds_needed(std::size_t n) { return static_cast<unsigned>(n); }
+
+ private:
+  LocalView view_;
+  std::uint64_t label_ = 0;
+  unsigned width_ = 1;
+  unsigned rounds_done_ = 0;
+  bool all_equal_ = false;
+};
+
+AlgorithmFactory min_id_flood_factory();
+
+}  // namespace bcclb

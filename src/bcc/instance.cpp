@@ -1,0 +1,60 @@
+#include "bcc/instance.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+namespace {
+
+std::vector<std::uint64_t> default_ids(std::size_t n) {
+  std::vector<std::uint64_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+}  // namespace
+
+BccInstance::BccInstance(Wiring wiring, Graph input, KnowledgeMode mode)
+    : BccInstance(std::move(wiring), std::move(input), mode, {}) {}
+
+BccInstance::BccInstance(Wiring wiring, Graph input, KnowledgeMode mode,
+                         std::vector<std::uint64_t> ids)
+    : wiring_(std::move(wiring)), input_(std::move(input)), mode_(mode), ids_(std::move(ids)) {
+  BCCLB_REQUIRE(wiring_.num_vertices() == input_.num_vertices(),
+                "wiring and input graph disagree on n");
+  if (ids_.empty()) ids_ = default_ids(input_.num_vertices());
+  BCCLB_REQUIRE(ids_.size() == input_.num_vertices(), "need one ID per vertex");
+  std::vector<std::uint64_t> sorted = ids_;
+  std::sort(sorted.begin(), sorted.end());
+  BCCLB_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+                "IDs must be unique");
+}
+
+BccInstance BccInstance::kt1(Graph input) {
+  Wiring w = Wiring::kt1(input.num_vertices());
+  return BccInstance(std::move(w), std::move(input), KnowledgeMode::kKT1);
+}
+
+BccInstance BccInstance::random_kt0(Graph input, Rng& rng) {
+  Wiring w = Wiring::random_kt0(input.num_vertices(), rng);
+  return BccInstance(std::move(w), std::move(input), KnowledgeMode::kKT0);
+}
+
+std::uint64_t BccInstance::id_of(VertexId v) const {
+  BCCLB_REQUIRE(v < ids_.size(), "vertex out of range");
+  return ids_[v];
+}
+
+std::vector<Port> BccInstance::input_ports(VertexId v) const {
+  std::vector<Port> ports;
+  for (VertexId u : input_.neighbors(v)) {
+    ports.push_back(wiring_.port_at(v, u));
+  }
+  std::sort(ports.begin(), ports.end());
+  return ports;
+}
+
+}  // namespace bcclb

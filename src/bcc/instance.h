@@ -1,0 +1,68 @@
+// BCC instances and the local view an algorithm runs against.
+//
+// A size-n instance (Section 1.2) is the clique wiring, the input graph
+// (a subset of the clique's edges), vertex IDs, and the knowledge mode:
+// KT-0 vertices know their ID, their ports, and which ports carry input
+// edges; KT-1 vertices additionally know all n IDs and the ID behind every
+// port. The simulator materializes exactly this as a LocalView, so an
+// algorithm physically cannot read more than the model grants it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bcc/wiring.h"
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace bcclb {
+
+enum class KnowledgeMode : std::uint8_t {
+  kKT0,  // ports are arbitrary, anonymous
+  kKT1,  // port numbers reveal neighbor IDs
+};
+
+class BccInstance {
+ public:
+  // IDs default to 0..n-1. The input graph must span the same vertex set as
+  // the wiring.
+  BccInstance(Wiring wiring, Graph input, KnowledgeMode mode);
+  BccInstance(Wiring wiring, Graph input, KnowledgeMode mode, std::vector<std::uint64_t> ids);
+
+  // KT-1 convenience: canonical ID wiring.
+  static BccInstance kt1(Graph input);
+
+  // KT-0 with a uniformly random wiring.
+  static BccInstance random_kt0(Graph input, Rng& rng);
+
+  std::size_t num_vertices() const { return input_.num_vertices(); }
+  KnowledgeMode mode() const { return mode_; }
+  const Wiring& wiring() const { return wiring_; }
+  const Graph& input() const { return input_; }
+  std::uint64_t id_of(VertexId v) const;
+
+  // Ports of v that carry input edges, sorted.
+  std::vector<Port> input_ports(VertexId v) const;
+
+ private:
+  Wiring wiring_;
+  Graph input_;
+  KnowledgeMode mode_;
+  std::vector<std::uint64_t> ids_;
+};
+
+// Everything a vertex is allowed to see at time 0 (plus the public coins).
+struct LocalView {
+  std::size_t n = 0;
+  unsigned bandwidth = 1;
+  KnowledgeMode mode = KnowledgeMode::kKT0;
+  std::uint64_t id = 0;
+  std::vector<Port> input_ports;
+  // KT-1 only; empty in KT-0.
+  std::vector<std::uint64_t> all_ids;
+  std::vector<std::uint64_t> port_peer_ids;  // port_peer_ids[p] = ID behind port p
+  // Shared public random string; nullptr for deterministic algorithms.
+  const PublicCoins* coins = nullptr;
+};
+
+}  // namespace bcclb

@@ -1,0 +1,91 @@
+#include "bcc/range_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+RangeSimulator::RangeSimulator(BccInstance instance, unsigned range, unsigned bandwidth,
+                               const PublicCoins* coins)
+    : instance_(std::move(instance)), range_(range), bandwidth_(bandwidth), coins_(coins) {
+  BCCLB_REQUIRE(range >= 1 && range <= instance_.num_vertices() - 1,
+                "range must be in [1, n-1]");
+  BCCLB_REQUIRE(bandwidth >= 1 && bandwidth <= 64, "bandwidth must be in [1, 64]");
+}
+
+RangeRunResult RangeSimulator::run(const RangeAlgorithmFactory& factory,
+                                   unsigned max_rounds) const {
+  const std::size_t n = instance_.num_vertices();
+  std::vector<std::unique_ptr<RangeVertexAlgorithm>> vertices;
+  vertices.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    LocalView view;
+    view.n = n;
+    view.bandwidth = bandwidth_;
+    view.mode = instance_.mode();
+    view.id = instance_.id_of(v);
+    view.input_ports = instance_.input_ports(v);
+    view.coins = coins_;
+    if (instance_.mode() == KnowledgeMode::kKT1) {
+      for (VertexId u = 0; u < n; ++u) view.all_ids.push_back(instance_.id_of(u));
+      std::sort(view.all_ids.begin(), view.all_ids.end());
+      for (Port p = 0; p + 1 < n; ++p) {
+        view.port_peer_ids.push_back(instance_.id_of(instance_.wiring().peer(v, p)));
+      }
+    }
+    auto alg = factory();
+    alg->init(view);
+    vertices.push_back(std::move(alg));
+  }
+
+  RangeRunResult result;
+  // outboxes[v][p] = message v sends through port p this round.
+  std::vector<std::vector<Message>> outboxes(n);
+  std::vector<Message> inbox(n - 1);
+
+  unsigned t = 0;
+  for (; t < max_rounds; ++t) {
+    if (std::all_of(vertices.begin(), vertices.end(),
+                    [](const auto& v) { return v->finished(); })) {
+      break;
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      outboxes[v] = vertices[v]->send(t);
+      BCCLB_REQUIRE(outboxes[v].size() == n - 1, "outbox must cover every port");
+      // Enforce the range budget: at most r distinct non-silent values.
+      std::vector<Message> distinct;
+      for (const Message& m : outboxes[v]) {
+        BCCLB_REQUIRE(m.num_bits() <= bandwidth_, "message exceeds the bandwidth budget");
+        if (m.is_silent()) continue;
+        if (std::find(distinct.begin(), distinct.end(), m) == distinct.end()) {
+          distinct.push_back(m);
+        }
+      }
+      BCCLB_REQUIRE(distinct.size() <= range_, "round uses more distinct messages than the range");
+      for (const Message& m : distinct) result.total_bits_sent += m.num_bits();
+    }
+    // Delivery: v's inbox[p] is what the peer behind port p sent to v.
+    for (VertexId v = 0; v < n; ++v) {
+      for (Port p = 0; p + 1 < n; ++p) {
+        const VertexId u = instance_.wiring().peer(v, p);
+        const Port back = instance_.wiring().port_at(u, v);
+        inbox[p] = outboxes[u][back];
+      }
+      vertices[v]->receive(t, inbox);
+    }
+  }
+
+  result.rounds_executed = t;
+  result.all_finished = std::all_of(vertices.begin(), vertices.end(),
+                                    [](const auto& v) { return v->finished(); });
+  result.decision = true;
+  for (const auto& v : vertices) {
+    const bool d = v->decide();
+    result.vertex_decisions.push_back(d);
+    result.decision = result.decision && d;
+  }
+  return result;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,90 @@
+// The BCC(b) round driver.
+//
+// Per Section 1.2: in each round every vertex receives the previous round's
+// broadcasts on its ports, computes, and broadcasts at most b bits (or stays
+// silent). The driver instantiates one VertexAlgorithm per vertex from a
+// factory, feeds each exactly its LocalView, enforces the bandwidth budget,
+// and aggregates the decision as the AND of vertex outputs (the system says
+// YES iff all vertices say YES).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bcc/instance.h"
+#include "bcc/message.h"
+#include "bcc/transcript.h"
+
+namespace bcclb {
+
+// A vertex-local algorithm. The driver calls init once, then alternates
+// broadcast(t) / receive(t, inbox) for t = 0, 1, ...; inbox[p] is the round-t
+// broadcast of the peer behind port p. Once every vertex reports finished(),
+// the run stops and outputs are read.
+class VertexAlgorithm {
+ public:
+  virtual ~VertexAlgorithm() = default;
+
+  virtual void init(const LocalView& view) = 0;
+
+  virtual Message broadcast(unsigned round) = 0;
+
+  virtual void receive(unsigned round, std::span<const Message> inbox) = 0;
+
+  // True when this vertex is ready to output; the system stops when all are.
+  virtual bool finished() const = 0;
+
+  // Decision-problem output (YES = true). Valid once finished, or when the
+  // driver hits its round limit.
+  virtual bool decide() const = 0;
+
+  // ConnectedComponents-style output; default says the algorithm computes
+  // no label.
+  virtual std::optional<std::uint64_t> component_label() const { return std::nullopt; }
+};
+
+using AlgorithmFactory = std::function<std::unique_ptr<VertexAlgorithm>()>;
+
+struct RunResult {
+  unsigned rounds_executed = 0;
+  bool all_finished = false;
+  bool decision = false;  // AND over vertices
+  std::vector<bool> vertex_decisions;
+  std::vector<std::optional<std::uint64_t>> labels;
+  Transcript transcript{0, 0};
+  std::uint64_t total_bits_broadcast = 0;
+  // Final vertex states, for algorithms with richer outputs than a decision
+  // (e.g. the MST edge set). Move-only.
+  std::vector<std::unique_ptr<VertexAlgorithm>> agents;
+};
+
+class BccSimulator {
+ public:
+  // coins may be null (deterministic algorithm). bandwidth is b. The
+  // instance is stored by value so temporaries are safe to pass.
+  BccSimulator(BccInstance instance, unsigned bandwidth, const PublicCoins* coins = nullptr);
+
+  // Switch to the private-coin model (Section 1.2: each vertex gets its own
+  // string r_v): every vertex receives an independent coin stream derived
+  // from `seed` and its ID, replacing any shared coins. Lower bounds proved
+  // with public coins hold here too; some upper bounds (the AGM sketches)
+  // genuinely need the shared stream and break — measurably.
+  void use_private_coins(std::uint64_t seed, std::size_t bits_per_vertex = 4096);
+
+  // Runs up to max_rounds rounds (stopping early once every vertex reports
+  // finished). Throws if any broadcast exceeds the bandwidth.
+  RunResult run(const AlgorithmFactory& factory, unsigned max_rounds) const;
+
+ private:
+  BccInstance instance_;
+  unsigned bandwidth_;
+  const PublicCoins* coins_;
+  bool private_coins_ = false;
+  std::uint64_t private_seed_ = 0;
+  std::size_t private_bits_ = 0;
+};
+
+}  // namespace bcclb

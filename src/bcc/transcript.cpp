@@ -1,0 +1,84 @@
+#include "bcc/transcript.h"
+
+#include "common/check.h"
+
+namespace bcclb {
+
+Transcript::Transcript(std::size_t n, unsigned rounds)
+    : sent_(n, std::vector<Message>(rounds)), rounds_(rounds) {}
+
+void Transcript::record(VertexId v, unsigned round, const Message& m) {
+  BCCLB_REQUIRE(v < sent_.size(), "vertex out of range");
+  BCCLB_REQUIRE(round < rounds_, "round out of range");
+  sent_[v][round] = m;
+}
+
+void Transcript::truncate(unsigned rounds) {
+  BCCLB_REQUIRE(rounds <= rounds_, "cannot truncate to more rounds");
+  for (auto& msgs : sent_) msgs.resize(rounds);
+  rounds_ = rounds;
+}
+
+const Message& Transcript::sent(VertexId v, unsigned round) const {
+  BCCLB_REQUIRE(v < sent_.size(), "vertex out of range");
+  BCCLB_REQUIRE(round < rounds_, "round out of range");
+  return sent_[v][round];
+}
+
+std::string Transcript::sent_string(VertexId v) const {
+  BCCLB_REQUIRE(v < sent_.size(), "vertex out of range");
+  std::string out;
+  for (const Message& m : sent_[v]) {
+    const std::string s = m.to_string();
+    if (s.size() > 1) {
+      out += s;
+      out += '|';
+    } else {
+      out += s;
+    }
+  }
+  return out;
+}
+
+std::string Transcript::edge_label(VertexId tail, VertexId head) const {
+  return sent_string(tail) + sent_string(head);
+}
+
+std::uint64_t Transcript::total_bits() const {
+  std::uint64_t bits = 0;
+  for (const auto& msgs : sent_) {
+    for (const Message& m : msgs) bits += m.num_bits();
+  }
+  return bits;
+}
+
+std::string vertex_state_signature(const BccInstance& instance, const Transcript& transcript,
+                                   VertexId v) {
+  BCCLB_REQUIRE(v < instance.num_vertices(), "vertex out of range");
+  std::string sig;
+  // Initial knowledge: own ID, input ports, and (KT-1) the IDs behind ports.
+  sig += "id=" + std::to_string(instance.id_of(v)) + ";in=";
+  for (Port p : instance.input_ports(v)) sig += std::to_string(p) + ",";
+  if (instance.mode() == KnowledgeMode::kKT1) {
+    sig += ";ports=";
+    for (Port p = 0; p + 1 < instance.num_vertices(); ++p) {
+      sig += std::to_string(instance.id_of(instance.wiring().peer(v, p))) + ",";
+    }
+  }
+  // Sent messages.
+  sig += ";sent=" + transcript.sent_string(v);
+  // Received messages by (round, port): the broadcast of peer u arrives at v
+  // on port port_at(v, u).
+  sig += ";recv=";
+  const std::size_t n = instance.num_vertices();
+  for (unsigned t = 0; t < transcript.num_rounds(); ++t) {
+    for (Port p = 0; p + 1 < n; ++p) {
+      const VertexId u = instance.wiring().peer(v, p);
+      sig += transcript.sent(u, t).to_string();
+    }
+    sig += '/';
+  }
+  return sig;
+}
+
+}  // namespace bcclb

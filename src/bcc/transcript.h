@@ -1,0 +1,60 @@
+// Transcripts of a BCC run.
+//
+// After t rounds a vertex's transcript is the sequence of messages it sent
+// plus the messages it received, tagged by the port they arrived on
+// (Section 1.2). The KT-0 indistinguishability experiments compare whole
+// vertex states — initial knowledge plus transcript — across instances
+// (Lemma 3.4), and the edge-crossing analysis labels each directed input
+// edge with the 2t characters its endpoints broadcast (Theorem 3.5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bcc/instance.h"
+#include "bcc/message.h"
+
+namespace bcclb {
+
+class Transcript {
+ public:
+  Transcript(std::size_t n, unsigned rounds);
+
+  std::size_t num_vertices() const { return sent_.size(); }
+  unsigned num_rounds() const { return rounds_; }
+
+  void record(VertexId v, unsigned round, const Message& m);
+
+  // Drops rounds at and beyond `rounds` (used when a run stops early, so
+  // unexecuted rounds do not appear as spurious silence).
+  void truncate(unsigned rounds);
+
+  const Message& sent(VertexId v, unsigned round) const;
+
+  // The full broadcast sequence of v as characters over {'0','1','_'}
+  // (requires 1-bit messages; multi-bit messages expand to their bit string
+  // with '|' separators so sequences remain comparable).
+  std::string sent_string(VertexId v) const;
+
+  // The label of the directed input edge (tail, head): tail's t characters
+  // followed by head's t characters — exactly the 2t-character edge label in
+  // the proof of Theorem 3.5.
+  std::string edge_label(VertexId tail, VertexId head) const;
+
+  std::uint64_t total_bits() const;
+
+ private:
+  std::vector<std::vector<Message>> sent_;  // sent_[v][t]
+  unsigned rounds_;
+};
+
+// A serialized full vertex state after a run: initial knowledge, everything
+// sent, and everything received with the port it came from. Two instances
+// are indistinguishable to v iff these strings match (the formal notion in
+// Section 3). The instance supplies the wiring needed to map broadcasts to
+// arrival ports.
+std::string vertex_state_signature(const BccInstance& instance, const Transcript& transcript,
+                                   VertexId v);
+
+}  // namespace bcclb

@@ -1,0 +1,63 @@
+#include "bcc/wiring.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+Wiring::Wiring(std::vector<std::vector<VertexId>> port_to_peer)
+    : port_to_peer_(std::move(port_to_peer)) {
+  const std::size_t n = port_to_peer_.size();
+  peer_to_port_.assign(n, std::vector<Port>(n, static_cast<Port>(-1)));
+  for (VertexId v = 0; v < n; ++v) {
+    BCCLB_REQUIRE(port_to_peer_[v].size() == n - 1, "each vertex needs n-1 ports");
+    std::vector<bool> seen(n, false);
+    for (Port p = 0; p < n - 1; ++p) {
+      const VertexId u = port_to_peer_[v][p];
+      BCCLB_REQUIRE(u < n, "peer out of range");
+      BCCLB_REQUIRE(u != v, "port cannot connect a vertex to itself");
+      BCCLB_REQUIRE(!seen[u], "duplicate peer in port table");
+      seen[u] = true;
+      peer_to_port_[v][u] = p;
+    }
+  }
+}
+
+Wiring Wiring::kt1(std::size_t n) {
+  BCCLB_REQUIRE(n >= 2, "need at least 2 vertices");
+  std::vector<std::vector<VertexId>> tables(n);
+  for (VertexId v = 0; v < n; ++v) {
+    tables[v].reserve(n - 1);
+    for (VertexId u = 0; u < n; ++u) {
+      if (u != v) tables[v].push_back(u);
+    }
+  }
+  return Wiring(std::move(tables));
+}
+
+Wiring Wiring::random_kt0(std::size_t n, Rng& rng) {
+  BCCLB_REQUIRE(n >= 2, "need at least 2 vertices");
+  std::vector<std::vector<VertexId>> tables(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u = 0; u < n; ++u) {
+      if (u != v) tables[v].push_back(u);
+    }
+    rng.shuffle(tables[v]);
+  }
+  return Wiring(std::move(tables));
+}
+
+VertexId Wiring::peer(VertexId v, Port p) const {
+  BCCLB_REQUIRE(v < port_to_peer_.size(), "vertex out of range");
+  BCCLB_REQUIRE(p < port_to_peer_[v].size(), "port out of range");
+  return port_to_peer_[v][p];
+}
+
+Port Wiring::port_at(VertexId v, VertexId peer) const {
+  BCCLB_REQUIRE(v < peer_to_port_.size() && peer < peer_to_port_.size(), "vertex out of range");
+  BCCLB_REQUIRE(v != peer, "no port to self");
+  return peer_to_port_[v][peer];
+}
+
+}  // namespace bcclb

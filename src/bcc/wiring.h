@@ -1,0 +1,55 @@
+// Port wirings of the communication clique.
+//
+// A size-n BCC instance gives every vertex n-1 communication ports. In the
+// KT-0 version (Section 1.2) ports are numbered arbitrarily and say nothing
+// about the peer's identity; in the KT-1 version port numbers are the peers'
+// IDs. A Wiring is a family of per-vertex bijections port -> peer; any such
+// family is a valid clique wiring, since the pair {u, v} is simply attached
+// to port port_at(u, v) on u's side and port_at(v, u) on v's side.
+//
+// The crossing machinery (Definition 3.3) rewires four network edges while
+// preserving every vertex's local port view; it builds modified Wirings
+// through the explicit-table constructor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace bcclb {
+
+using Port = std::uint32_t;
+
+class Wiring {
+ public:
+  // From explicit tables: table[v][p] = peer of v at port p. Each row must be
+  // a bijection onto V \ {v}.
+  explicit Wiring(std::vector<std::vector<VertexId>> port_to_peer);
+
+  // The KT-1 wiring: port p of v connects to peer p (skipping v itself), so
+  // port numbers enumerate peers in ID order — the canonical "ports are
+  // labeled with IDs" layout.
+  static Wiring kt1(std::size_t n);
+
+  // A uniformly random KT-0 wiring: every vertex's port permutation is an
+  // independent uniform bijection.
+  static Wiring random_kt0(std::size_t n, Rng& rng);
+
+  std::size_t num_vertices() const { return port_to_peer_.size(); }
+  std::size_t ports_per_vertex() const { return port_to_peer_.empty() ? 0 : num_vertices() - 1; }
+
+  VertexId peer(VertexId v, Port p) const;
+  Port port_at(VertexId v, VertexId peer) const;
+
+  const std::vector<std::vector<VertexId>>& tables() const { return port_to_peer_; }
+
+  friend bool operator==(const Wiring&, const Wiring&) = default;
+
+ private:
+  std::vector<std::vector<VertexId>> port_to_peer_;
+  std::vector<std::vector<Port>> peer_to_port_;
+};
+
+}  // namespace bcclb

@@ -1,0 +1,79 @@
+#include "comm/components_protocol.h"
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "graph/components.h"
+
+namespace bcclb {
+
+namespace {
+
+SetPartition components_partition(const Graph& g) {
+  const auto labels = component_labels(g);
+  std::vector<std::uint32_t> l(labels.begin(), labels.end());
+  return SetPartition::from_labels(l);
+}
+
+}  // namespace
+
+std::vector<bool> encode_partition(const SetPartition& p) {
+  const unsigned width = std::max(1u, ceil_log2(p.ground_size()));
+  std::vector<bool> bits;
+  bits.reserve(p.ground_size() * width);
+  for (std::uint32_t b : p.rgs()) append_uint(bits, b, width);
+  return bits;
+}
+
+SetPartition decode_partition(std::size_t n, const std::vector<bool>& bits) {
+  const unsigned width = std::max(1u, ceil_log2(n));
+  BCCLB_REQUIRE(bits.size() == n * width, "encoded partition has wrong length");
+  std::vector<std::uint32_t> rgs;
+  rgs.reserve(n);
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rgs.push_back(static_cast<std::uint32_t>(read_uint(bits, at, width)));
+  }
+  return SetPartition(std::move(rgs));
+}
+
+ComponentsAlice::ComponentsAlice(Graph edges) : edges_(std::move(edges)) {}
+
+std::vector<bool> ComponentsAlice::send(unsigned round) {
+  if (round > 0 || sent_) return {};
+  sent_ = true;
+  return encode_partition(components_partition(edges_));
+}
+
+void ComponentsAlice::receive(unsigned round, const std::vector<bool>& msg) {
+  (void)round;
+  (void)msg;  // one-way protocol
+}
+
+bool ComponentsAlice::finished() const { return sent_; }
+
+ComponentsBob::ComponentsBob(Graph edges) : edges_(std::move(edges)) {}
+
+std::vector<bool> ComponentsBob::send(unsigned round) {
+  (void)round;
+  return {};
+}
+
+void ComponentsBob::receive(unsigned round, const std::vector<bool>& msg) {
+  if (round > 0 || msg.empty()) return;
+  const SetPartition alice_components = decode_partition(edges_.num_vertices(), msg);
+  join_ = alice_components.join(components_partition(edges_));
+}
+
+bool ComponentsBob::finished() const { return join_.has_value(); }
+
+bool ComponentsBob::connected() const {
+  BCCLB_REQUIRE(join_.has_value(), "protocol has not run");
+  return join_->is_coarsest();
+}
+
+const SetPartition& ComponentsBob::joined_components() const {
+  BCCLB_REQUIRE(join_.has_value(), "protocol has not run");
+  return *join_;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,53 @@
+// The trivial O(n log n) upper-bound protocol for 2-party Connectivity
+// (Section 4 opening): Alice sends the connected components her edges
+// induce — encoded as a restricted growth string, n * ceil(log2 n) bits —
+// and Bob, joining them with his own components, decides connectivity and
+// even recovers the full component partition. Together with the log-rank
+// bound this sandwiches the deterministic complexity at Θ(n log n) (E6).
+#pragma once
+
+#include <optional>
+
+#include "comm/protocol.h"
+#include "graph/graph.h"
+#include "partition/set_partition.h"
+
+namespace bcclb {
+
+class ComponentsAlice final : public PartyAlgorithm {
+ public:
+  explicit ComponentsAlice(Graph edges);
+
+  std::vector<bool> send(unsigned round) override;
+  void receive(unsigned round, const std::vector<bool>& msg) override;
+  bool finished() const override;
+
+ private:
+  Graph edges_;
+  bool sent_ = false;
+};
+
+class ComponentsBob final : public PartyAlgorithm {
+ public:
+  explicit ComponentsBob(Graph edges);
+
+  std::vector<bool> send(unsigned round) override;
+  void receive(unsigned round, const std::vector<bool>& msg) override;
+  bool finished() const override;
+
+  // Valid once the protocol ran: is the union graph connected, and the
+  // partition its components induce.
+  bool connected() const;
+  const SetPartition& joined_components() const;
+
+ private:
+  Graph edges_;
+  std::optional<SetPartition> join_;
+};
+
+// Encoding helpers shared with the partition protocols: a partition of [n]
+// as its RGS, each entry in ceil(log2 n) bits.
+std::vector<bool> encode_partition(const SetPartition& p);
+SetPartition decode_partition(std::size_t n, const std::vector<bool>& bits);
+
+}  // namespace bcclb

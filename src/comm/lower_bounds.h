@@ -1,0 +1,48 @@
+// Communication lower bounds via log-rank, and the paper's asymptotic
+// bounds as closed forms.
+//
+// Lemma 1.28 of [KN97]: the deterministic 2-party communication complexity
+// of a function with communication matrix M is at least log2(rank(M)).
+// Theorem 2.3 / Lemma 4.1 establish rank(M_n) = B_n and rank(E_n) = (n-1)!!;
+// this module both *measures* those ranks (over GF(2) and mod-p — full rank
+// there certifies full rational rank) and provides the implied bounds for
+// the E5/E6 experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/join_matrix.h"
+
+namespace bcclb {
+
+struct RankReport {
+  std::size_t dimension = 0;   // matrix is dimension x dimension
+  std::size_t rank_gf2 = 0;    // rank over GF(2)
+  std::size_t rank_modp = 0;   // rank mod a ~30-bit prime
+  bool full_rank = false;      // max of the two equals dimension
+
+  // log2 of the certified rank — the deterministic CC lower bound.
+  double log_rank_bound() const;
+};
+
+RankReport rank_report(const BoolMatrix& m);
+
+// Measured ranks of M_n (n <= 8) and E_n (even n <= 12).
+RankReport partition_matrix_rank(std::size_t n);
+RankReport two_partition_matrix_rank(std::size_t n);
+
+// Closed-form bounds for larger n (Theorem 2.3 says rank(M_n) = B_n, so the
+// bound is log2 B_n; Lemma 4.1 gives log2((n-1)!!)).
+double partition_cc_lower_bound(std::size_t n);
+double two_partition_cc_lower_bound(std::size_t n);
+
+// Cost of the trivial components upper-bound protocol: n * ceil(log2 n) + 1.
+std::uint64_t components_protocol_cost(std::size_t n);
+
+// A deterministic t-round BCC(b) algorithm on a 4n-vertex instance can be
+// simulated by a 2-party protocol with 2 * ceil(log2 3) * 2n * t bits
+// (Section 4.3: each party describes its 2n hosted vertices' {0,1,⊥}
+// characters per round). Inverting gives the round lower bound.
+double kt1_round_lower_bound(std::size_t ground_n, double cc_bound, unsigned bandwidth);
+
+}  // namespace bcclb

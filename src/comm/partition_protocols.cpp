@@ -1,0 +1,154 @@
+#include "comm/partition_protocols.h"
+
+#include <cmath>
+
+#include "comm/components_protocol.h"
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "partition/bell.h"
+#include "partition/enumeration.h"
+#include "partition/pair_partition.h"
+
+namespace bcclb {
+
+// --- Partition (decision) ---------------------------------------------------
+
+PartitionDecisionAlice::PartitionDecisionAlice(SetPartition pa) : pa_(std::move(pa)) {}
+
+std::vector<bool> PartitionDecisionAlice::send(unsigned round) {
+  if (round > 0 || sent_) return {};
+  sent_ = true;
+  return encode_partition(pa_);
+}
+
+void PartitionDecisionAlice::receive(unsigned round, const std::vector<bool>& msg) {
+  if (round == 0 && msg.size() == 1) answer_ = msg[0];
+}
+
+bool PartitionDecisionAlice::finished() const { return answer_.has_value(); }
+
+bool PartitionDecisionAlice::join_is_one() const {
+  BCCLB_REQUIRE(answer_.has_value(), "protocol has not run");
+  return *answer_;
+}
+
+PartitionDecisionBob::PartitionDecisionBob(SetPartition pb) : pb_(std::move(pb)) {}
+
+std::vector<bool> PartitionDecisionBob::send(unsigned round) {
+  (void)round;
+  if (!answer_.has_value() || answered_) return {};
+  answered_ = true;
+  return {*answer_};
+}
+
+void PartitionDecisionBob::receive(unsigned round, const std::vector<bool>& msg) {
+  if (round > 0 || msg.empty()) return;
+  const SetPartition pa = decode_partition(pb_.ground_size(), msg);
+  answer_ = pa.join(pb_).is_coarsest();
+}
+
+bool PartitionDecisionBob::finished() const { return answered_; }
+
+bool PartitionDecisionBob::join_is_one() const {
+  BCCLB_REQUIRE(answer_.has_value(), "protocol has not run");
+  return *answer_;
+}
+
+// --- PartitionComp ----------------------------------------------------------
+
+PartitionCompAlice::PartitionCompAlice(SetPartition pa, double keep_fraction)
+    : pa_(std::move(pa)), keep_fraction_(keep_fraction) {
+  BCCLB_REQUIRE(keep_fraction > 0.0 && keep_fraction <= 1.0,
+                "keep_fraction must be in (0, 1]");
+}
+
+std::vector<bool> PartitionCompAlice::send(unsigned round) {
+  if (round > 0 || sent_) return {};
+  sent_ = true;
+  if (keep_fraction_ >= 1.0) return encode_partition(pa_);
+  // ε-error truncation: inputs past the kept prefix send the fixed coarsest
+  // partition (all-zero RGS) and the protocol errs on them.
+  const double bn = static_cast<double>(bell_number_u64(pa_.ground_size()));
+  const auto keep = static_cast<std::uint64_t>(std::floor(keep_fraction_ * bn));
+  if (partition_index(pa_) < keep) return encode_partition(pa_);
+  return encode_partition(SetPartition::coarsest(pa_.ground_size()));
+}
+
+void PartitionCompAlice::receive(unsigned round, const std::vector<bool>& msg) {
+  (void)round;
+  (void)msg;
+}
+
+bool PartitionCompAlice::finished() const { return sent_; }
+
+PartitionCompBob::PartitionCompBob(SetPartition pb) : pb_(std::move(pb)) {}
+
+std::vector<bool> PartitionCompBob::send(unsigned round) {
+  (void)round;
+  return {};
+}
+
+void PartitionCompBob::receive(unsigned round, const std::vector<bool>& msg) {
+  if (round > 0 || msg.empty()) return;
+  join_ = decode_partition(pb_.ground_size(), msg).join(pb_);
+}
+
+bool PartitionCompBob::finished() const { return join_.has_value(); }
+
+const SetPartition& PartitionCompBob::join() const {
+  BCCLB_REQUIRE(join_.has_value(), "protocol has not run");
+  return *join_;
+}
+
+// --- TwoPartition via matching index ----------------------------------------
+
+TwoPartitionIndexAlice::TwoPartitionIndexAlice(SetPartition pa) : pa_(std::move(pa)) {
+  BCCLB_REQUIRE(pa_.is_perfect_matching(), "TwoPartition input must be a perfect matching");
+}
+
+std::vector<bool> TwoPartitionIndexAlice::send(unsigned round) {
+  if (round > 0 || sent_) return {};
+  sent_ = true;
+  const std::uint64_t count = num_perfect_matchings(pa_.ground_size());
+  const unsigned width = std::max(1u, ceil_log2(count));
+  std::vector<bool> bits;
+  append_uint(bits, perfect_matching_index(pa_), width);
+  return bits;
+}
+
+void TwoPartitionIndexAlice::receive(unsigned round, const std::vector<bool>& msg) {
+  (void)round;
+  (void)msg;
+}
+
+bool TwoPartitionIndexAlice::finished() const { return sent_; }
+
+TwoPartitionIndexBob::TwoPartitionIndexBob(SetPartition pb) : pb_(std::move(pb)) {
+  BCCLB_REQUIRE(pb_.is_perfect_matching(), "TwoPartition input must be a perfect matching");
+}
+
+std::vector<bool> TwoPartitionIndexBob::send(unsigned round) {
+  (void)round;
+  return {};
+}
+
+void TwoPartitionIndexBob::receive(unsigned round, const std::vector<bool>& msg) {
+  if (round > 0 || msg.empty()) return;
+  std::size_t at = 0;
+  const std::uint64_t index = read_uint(msg, at, static_cast<unsigned>(msg.size()));
+  join_ = perfect_matching_from_index(pb_.ground_size(), index).join(pb_);
+}
+
+bool TwoPartitionIndexBob::finished() const { return join_.has_value(); }
+
+bool TwoPartitionIndexBob::join_is_one() const {
+  BCCLB_REQUIRE(join_.has_value(), "protocol has not run");
+  return join_->is_coarsest();
+}
+
+const SetPartition& TwoPartitionIndexBob::join() const {
+  BCCLB_REQUIRE(join_.has_value(), "protocol has not run");
+  return *join_;
+}
+
+}  // namespace bcclb

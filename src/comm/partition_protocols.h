@@ -1,0 +1,118 @@
+// Concrete 2-party protocols for the Partition family of problems.
+//
+// - PartitionDecision*: decide whether PA ∨ PB = 1 (the Partition problem;
+//   deterministic cost ~ n log n + 1, matching Corollary 2.4 up to the
+//   constant).
+// - PartitionComp*: output the join itself (the PartitionComp problem of
+//   Section 4.4). The exact protocol ships PA's RGS; the truncated variant
+//   is the ε-error object Theorem 4.5 reasons about — it answers correctly
+//   on the (1-ε) fraction of inputs with smallest partition index and sends
+//   a fixed string otherwise, so its transcript entropy (= mutual
+//   information under the hard distribution) is ≈ (1-ε) log2(B_n).
+// - TwoPartitionIndex*: the matching-index encoding for TwoPartition
+//   inputs, log2((n-1)!!) = Θ(n log n) bits.
+#pragma once
+
+#include <optional>
+
+#include "comm/protocol.h"
+#include "partition/set_partition.h"
+
+namespace bcclb {
+
+// --- Partition (decision) ---------------------------------------------------
+
+class PartitionDecisionAlice final : public PartyAlgorithm {
+ public:
+  explicit PartitionDecisionAlice(SetPartition pa);
+  std::vector<bool> send(unsigned round) override;
+  void receive(unsigned round, const std::vector<bool>& msg) override;
+  bool finished() const override;
+
+  // Valid once Bob has answered.
+  bool join_is_one() const;
+
+ private:
+  SetPartition pa_;
+  bool sent_ = false;
+  std::optional<bool> answer_;
+};
+
+class PartitionDecisionBob final : public PartyAlgorithm {
+ public:
+  explicit PartitionDecisionBob(SetPartition pb);
+  std::vector<bool> send(unsigned round) override;
+  void receive(unsigned round, const std::vector<bool>& msg) override;
+  bool finished() const override;
+
+  bool join_is_one() const;
+
+ private:
+  SetPartition pb_;
+  std::optional<bool> answer_;
+  bool answered_ = false;
+};
+
+// --- PartitionComp (compute the join) ---------------------------------------
+
+class PartitionCompAlice final : public PartyAlgorithm {
+ public:
+  // keep_fraction = 1.0 gives the exact protocol. With keep_fraction < 1,
+  // only inputs whose RGS-lexicographic index is below keep_fraction * B_n
+  // are transmitted; the rest send the fixed all-zeros RGS (and the protocol
+  // errs on them) — an ε-error protocol with ε = 1 - keep_fraction.
+  PartitionCompAlice(SetPartition pa, double keep_fraction = 1.0);
+  std::vector<bool> send(unsigned round) override;
+  void receive(unsigned round, const std::vector<bool>& msg) override;
+  bool finished() const override;
+
+ private:
+  SetPartition pa_;
+  double keep_fraction_;
+  bool sent_ = false;
+};
+
+class PartitionCompBob final : public PartyAlgorithm {
+ public:
+  explicit PartitionCompBob(SetPartition pb);
+  std::vector<bool> send(unsigned round) override;
+  void receive(unsigned round, const std::vector<bool>& msg) override;
+  bool finished() const override;
+
+  const SetPartition& join() const;
+
+ private:
+  SetPartition pb_;
+  std::optional<SetPartition> join_;
+};
+
+// --- TwoPartition via matching index ----------------------------------------
+
+class TwoPartitionIndexAlice final : public PartyAlgorithm {
+ public:
+  explicit TwoPartitionIndexAlice(SetPartition pa);  // must be a perfect matching
+  std::vector<bool> send(unsigned round) override;
+  void receive(unsigned round, const std::vector<bool>& msg) override;
+  bool finished() const override;
+
+ private:
+  SetPartition pa_;
+  bool sent_ = false;
+};
+
+class TwoPartitionIndexBob final : public PartyAlgorithm {
+ public:
+  explicit TwoPartitionIndexBob(SetPartition pb);
+  std::vector<bool> send(unsigned round) override;
+  void receive(unsigned round, const std::vector<bool>& msg) override;
+  bool finished() const override;
+
+  bool join_is_one() const;
+  const SetPartition& join() const;
+
+ private:
+  SetPartition pb_;
+  std::optional<SetPartition> join_;
+};
+
+}  // namespace bcclb

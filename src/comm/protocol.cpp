@@ -1,0 +1,53 @@
+#include "comm/protocol.h"
+
+#include "common/check.h"
+
+namespace bcclb {
+
+namespace {
+
+void append_msg(std::string& transcript, const std::vector<bool>& msg) {
+  for (bool b : msg) transcript.push_back(b ? '1' : '0');
+  transcript.push_back('|');
+}
+
+}  // namespace
+
+ProtocolResult run_protocol(PartyAlgorithm& alice, PartyAlgorithm& bob, unsigned max_rounds) {
+  ProtocolResult result;
+  for (unsigned t = 0; t < max_rounds; ++t) {
+    if (alice.finished() && bob.finished()) break;
+    const std::vector<bool> a_msg = alice.send(t);
+    bob.receive(t, a_msg);
+    result.bits_alice_to_bob += a_msg.size();
+    append_msg(result.transcript, a_msg);
+
+    const std::vector<bool> b_msg = bob.send(t);
+    alice.receive(t, b_msg);
+    result.bits_bob_to_alice += b_msg.size();
+    append_msg(result.transcript, b_msg);
+
+    ++result.rounds;
+  }
+  BCCLB_REQUIRE(alice.finished() && bob.finished(),
+                "protocol did not terminate within the round limit");
+  return result;
+}
+
+void append_uint(std::vector<bool>& bits, std::uint64_t value, unsigned width) {
+  BCCLB_REQUIRE(width <= 64, "width out of range");
+  BCCLB_REQUIRE(width == 64 || value < (1ULL << width), "value does not fit width");
+  for (unsigned i = 0; i < width; ++i) bits.push_back((value >> i) & 1);
+}
+
+std::uint64_t read_uint(const std::vector<bool>& bits, std::size_t& at, unsigned width) {
+  BCCLB_REQUIRE(width <= 64 && at + width <= bits.size(), "read past message end");
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    if (bits[at + i]) value |= (1ULL << i);
+  }
+  at += width;
+  return value;
+}
+
+}  // namespace bcclb

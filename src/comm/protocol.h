@@ -1,0 +1,50 @@
+// A bit-exact two-party communication framework.
+//
+// The KT-1 lower bounds (Section 4) all pass through 2-party communication
+// complexity: protocols for Partition / TwoPartition / PartitionComp and
+// the Ω(n log n) bounds against them. Parties are state machines that can
+// interact only through bit strings; the driver alternates Alice -> Bob and
+// Bob -> Alice each round, records the transcript, and counts every bit —
+// the quantity all of Section 4's bounds are stated in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bcclb {
+
+class PartyAlgorithm {
+ public:
+  virtual ~PartyAlgorithm() = default;
+
+  // The message for round t (possibly empty — a party may stay quiet).
+  virtual std::vector<bool> send(unsigned round) = 0;
+
+  // The other party's round-t message.
+  virtual void receive(unsigned round, const std::vector<bool>& msg) = 0;
+
+  // True once this party needs no more communication.
+  virtual bool finished() const = 0;
+};
+
+struct ProtocolResult {
+  unsigned rounds = 0;
+  std::uint64_t bits_alice_to_bob = 0;
+  std::uint64_t bits_bob_to_alice = 0;
+  // Concatenated messages as '0'/'1' characters with '|' between messages —
+  // the object Π(PA, PB) whose entropy the Theorem 4.5 experiment measures.
+  std::string transcript;
+
+  std::uint64_t total_bits() const { return bits_alice_to_bob + bits_bob_to_alice; }
+};
+
+// Runs until both parties are finished (or max_rounds). Each round Alice
+// sends first, then Bob; both see each other's message within the round.
+ProtocolResult run_protocol(PartyAlgorithm& alice, PartyAlgorithm& bob, unsigned max_rounds);
+
+// Bit-string helpers shared by the concrete protocols.
+void append_uint(std::vector<bool>& bits, std::uint64_t value, unsigned width);
+std::uint64_t read_uint(const std::vector<bool>& bits, std::size_t& at, unsigned width);
+
+}  // namespace bcclb

@@ -1,0 +1,73 @@
+#include "comm/randomized_partition.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "partition/sampling.h"
+
+namespace bcclb {
+
+std::uint64_t exact_protocol_bits(std::size_t n) {
+  return static_cast<std::uint64_t>(n) * std::max(1u, ceil_log2(n));
+}
+
+LossyProtocolPoint measure_prefix_protocol(std::size_t n, std::size_t prefix_len,
+                                           std::size_t trials, Rng& rng) {
+  BCCLB_REQUIRE(prefix_len <= n, "prefix cannot exceed the ground set");
+  LossyProtocolPoint point;
+  point.bits = static_cast<std::uint64_t>(prefix_len) *
+               std::max(1u, ceil_log2(std::max<std::size_t>(prefix_len, 2)));
+  std::size_t wrong_decision = 0, wrong_join = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const SetPartition pa = uniform_partition(n, rng);
+    const SetPartition pb = uniform_partition(n, rng);
+    const SetPartition truth = pa.join(pb);
+
+    // Bob's reconstruction of PA: the real blocks on the prefix, singletons
+    // beyond it.
+    std::vector<std::uint32_t> labels(n);
+    std::uint32_t next = static_cast<std::uint32_t>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      labels[i] = i < prefix_len ? pa.rgs()[i] : next++;
+    }
+    const SetPartition approx = SetPartition::from_labels(labels).join(pb);
+
+    if (approx.is_coarsest() != truth.is_coarsest()) ++wrong_decision;
+    if (!(approx == truth)) ++wrong_join;
+  }
+  point.decision_error = static_cast<double>(wrong_decision) / static_cast<double>(trials);
+  point.join_error = static_cast<double>(wrong_join) / static_cast<double>(trials);
+  return point;
+}
+
+LossyProtocolPoint measure_hash_protocol(std::size_t n, unsigned hash_bits, std::size_t trials,
+                                         Rng& rng) {
+  BCCLB_REQUIRE(hash_bits >= 1 && hash_bits <= 32, "hash width out of range");
+  LossyProtocolPoint point;
+  point.bits = static_cast<std::uint64_t>(n) * hash_bits;
+  std::size_t wrong_decision = 0, wrong_join = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const SetPartition pa = uniform_partition(n, rng);
+    const SetPartition pb = uniform_partition(n, rng);
+    const SetPartition truth = pa.join(pb);
+
+    // Public-coin hash of each block id; collisions merge blocks on Bob's
+    // side (one-sided toward over-connectivity).
+    std::vector<std::uint32_t> hash_of_block(pa.num_blocks());
+    for (auto& h : hash_of_block) {
+      h = static_cast<std::uint32_t>(rng.next_below(1ULL << hash_bits));
+    }
+    std::vector<std::uint32_t> labels(n);
+    for (std::size_t i = 0; i < n; ++i) labels[i] = hash_of_block[pa.rgs()[i]];
+    const SetPartition approx = SetPartition::from_labels(labels).join(pb);
+
+    if (approx.is_coarsest() != truth.is_coarsest()) ++wrong_decision;
+    if (!(approx == truth)) ++wrong_join;
+  }
+  point.decision_error = static_cast<double>(wrong_decision) / static_cast<double>(trials);
+  point.join_error = static_cast<double>(wrong_join) / static_cast<double>(trials);
+  return point;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,45 @@
+// Empirical probes at the paper's open Question 2: is the randomized
+// constant-error communication complexity of Partition Ω(n log n)?
+//
+// A positive answer would extend the KT-1 Ω(log n) Connectivity bound to
+// randomized algorithms. We cannot answer it, but we can chart the
+// bits-vs-error frontier of natural sub-(n log n) protocol families:
+//
+//  - PrefixProtocol(m): Alice ships the exact block structure of the first
+//    m elements only (m⌈log₂m⌉ bits); the rest are presumed singletons.
+//  - HashProtocol(h): Alice ships an h-bit public-coin hash of every
+//    element's block id (n·h bits, h < ⌈log₂n⌉); colliding hashes over-merge,
+//    giving one-sided error toward join = 1.
+//
+// Both interpolate between "free" and the exact n⌈log₂n⌉-bit protocol; the
+// measured error decays toward 0 only as the budget approaches Θ(n log n) —
+// the empirical shape consistent with a positive answer to Question 2.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "partition/set_partition.h"
+
+namespace bcclb {
+
+struct LossyProtocolPoint {
+  std::uint64_t bits = 0;     // Alice -> Bob communication
+  double decision_error = 0;  // P[wrong answer to "PA ∨ PB = 1?"]
+  double join_error = 0;      // P[recovered join != PA ∨ PB]
+};
+
+// Runs the prefix protocol on `trials` random (PA, PB) pairs of ground size
+// n; prefix_len = m.
+LossyProtocolPoint measure_prefix_protocol(std::size_t n, std::size_t prefix_len,
+                                           std::size_t trials, Rng& rng);
+
+// Runs the hash protocol with h-bit hashes (public coins from `rng`'s seed
+// stream) on `trials` random pairs.
+LossyProtocolPoint measure_hash_protocol(std::size_t n, unsigned hash_bits, std::size_t trials,
+                                         Rng& rng);
+
+// The exact protocol's cost, for the frontier's right endpoint.
+std::uint64_t exact_protocol_bits(std::size_t n);
+
+}  // namespace bcclb

@@ -1,0 +1,45 @@
+// Precondition / invariant checking for the bcc_lb library.
+//
+// Library code validates its inputs with BCCLB_REQUIRE (throws
+// std::invalid_argument — caller error) and internal invariants with
+// BCCLB_CHECK (throws std::logic_error — library bug). Both are always on:
+// this is a verification laboratory, not a hot inner loop, and silent
+// corruption of a lower-bound experiment is worse than a few branches.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bcclb {
+
+namespace detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  throw std::invalid_argument(std::string("requirement failed: ") + expr + " at " + file + ":" +
+                              std::to_string(line) + (msg.empty() ? "" : (" — " + msg)));
+}
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  throw std::logic_error(std::string("internal check failed: ") + expr + " at " + file + ":" +
+                         std::to_string(line) + (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace detail
+
+}  // namespace bcclb
+
+#define BCCLB_REQUIRE(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::bcclb::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                \
+  } while (false)
+
+#define BCCLB_CHECK(expr, msg)                                     \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::bcclb::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                              \
+  } while (false)

@@ -1,0 +1,84 @@
+#include "congest/model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+CongestSimulator::CongestSimulator(Graph graph, unsigned bandwidth, const PublicCoins* coins)
+    : graph_(std::move(graph)), bandwidth_(bandwidth), coins_(coins) {
+  BCCLB_REQUIRE(bandwidth >= 1 && bandwidth <= 64, "bandwidth must be in [1, 64]");
+}
+
+CongestRunResult CongestSimulator::run(const CongestAlgorithmFactory& factory,
+                                       unsigned max_rounds) const {
+  const std::size_t n = graph_.num_vertices();
+  // Sorted neighbor lists; IDs are the vertex indices.
+  std::vector<std::vector<VertexId>> nbrs(n);
+  for (VertexId v = 0; v < n; ++v) {
+    nbrs[v] = graph_.neighbors(v);
+    std::sort(nbrs[v].begin(), nbrs[v].end());
+  }
+  // index_of[v][u] = position of u in v's sorted neighbor list.
+  std::vector<std::vector<std::uint32_t>> index_of(n);
+  for (VertexId v = 0; v < n; ++v) {
+    index_of[v].assign(n, static_cast<std::uint32_t>(-1));
+    for (std::uint32_t i = 0; i < nbrs[v].size(); ++i) index_of[v][nbrs[v][i]] = i;
+  }
+
+  std::vector<std::unique_ptr<CongestAlgorithm>> vertices;
+  vertices.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    CongestView view;
+    view.n = n;
+    view.bandwidth = bandwidth_;
+    view.id = v;
+    for (VertexId u : nbrs[v]) view.neighbor_ids.push_back(u);
+    view.coins = coins_;
+    auto alg = factory();
+    alg->init(view);
+    vertices.push_back(std::move(alg));
+  }
+
+  CongestRunResult result;
+  std::vector<std::vector<Message>> outboxes(n);
+  unsigned t = 0;
+  for (; t < max_rounds; ++t) {
+    if (std::all_of(vertices.begin(), vertices.end(),
+                    [](const auto& v) { return v->finished(); })) {
+      break;
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      outboxes[v] = vertices[v]->send(t);
+      BCCLB_REQUIRE(outboxes[v].size() == nbrs[v].size(),
+                    "outbox must cover every incident edge");
+      for (const Message& m : outboxes[v]) {
+        BCCLB_REQUIRE(m.num_bits() <= bandwidth_, "message exceeds the bandwidth budget");
+        result.total_bits_sent += m.num_bits();
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      std::vector<Message> inbox(nbrs[v].size());
+      for (std::uint32_t i = 0; i < nbrs[v].size(); ++i) {
+        const VertexId u = nbrs[v][i];
+        inbox[i] = outboxes[u][index_of[u][v]];
+      }
+      vertices[v]->receive(t, inbox);
+    }
+  }
+
+  result.rounds_executed = t;
+  result.all_finished = std::all_of(vertices.begin(), vertices.end(),
+                                    [](const auto& v) { return v->finished(); });
+  result.decision = true;
+  for (const auto& v : vertices) {
+    const bool d = v->decide();
+    result.vertex_decisions.push_back(d);
+    result.decision = result.decision && d;
+  }
+  result.agents = std::move(vertices);
+  return result;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,73 @@
+// The CONGEST model (Peleg), the setting of most of the related lower-bound
+// work the paper builds on (Section 1.3): communication happens only along
+// INPUT-GRAPH edges, with a b-bit message per edge per round, and (in the
+// KT-1 version, as in [Fis+18]) vertices know their neighbors' IDs.
+//
+// This substrate exists to make the related-work comparisons executable —
+// e.g. triangle detection, where [Fis+18] prove Ω(log n) for deterministic
+// KT-1 CONGEST(1), against which our naive Θ(Δ·log n / b) algorithm is
+// measured (bench E16).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bcc/message.h"
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace bcclb {
+
+struct CongestView {
+  std::size_t n = 0;
+  unsigned bandwidth = 1;
+  std::uint64_t id = 0;
+  // Neighbor IDs in increasing order (KT-1 CONGEST); messages are indexed by
+  // position in this list.
+  std::vector<std::uint64_t> neighbor_ids;
+  const PublicCoins* coins = nullptr;
+};
+
+class CongestAlgorithm {
+ public:
+  virtual ~CongestAlgorithm() = default;
+
+  virtual void init(const CongestView& view) = 0;
+
+  // out[i] = message for neighbor_ids[i] this round (⊥ allowed).
+  virtual std::vector<Message> send(unsigned round) = 0;
+
+  // inbox[i] = message from neighbor_ids[i].
+  virtual void receive(unsigned round, std::span<const Message> inbox) = 0;
+
+  virtual bool finished() const = 0;
+  virtual bool decide() const = 0;
+};
+
+using CongestAlgorithmFactory = std::function<std::unique_ptr<CongestAlgorithm>()>;
+
+struct CongestRunResult {
+  unsigned rounds_executed = 0;
+  bool all_finished = false;
+  bool decision = false;  // AND over vertices
+  std::vector<bool> vertex_decisions;
+  std::uint64_t total_bits_sent = 0;
+  // Final vertex states (move-only), for algorithms with richer outputs.
+  std::vector<std::unique_ptr<CongestAlgorithm>> agents;
+};
+
+class CongestSimulator {
+ public:
+  CongestSimulator(Graph graph, unsigned bandwidth, const PublicCoins* coins = nullptr);
+
+  CongestRunResult run(const CongestAlgorithmFactory& factory, unsigned max_rounds) const;
+
+ private:
+  Graph graph_;  // by value: simulators are routinely built from temporaries
+  unsigned bandwidth_;
+  const PublicCoins* coins_;
+};
+
+}  // namespace bcclb

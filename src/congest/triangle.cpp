@@ -1,0 +1,111 @@
+#include "congest/triangle.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace bcclb {
+
+bool has_triangle(const Graph& g) {
+  for (const Edge& e : g.edges()) {
+    for (VertexId w : g.neighbors(e.u)) {
+      if (w != e.v && g.has_edge(w, e.v)) return true;
+    }
+  }
+  return false;
+}
+
+unsigned TriangleDetection::rounds_needed(std::size_t n, std::size_t max_degree,
+                                          unsigned bandwidth) {
+  const unsigned w = std::max(1u, ceil_log2(n));
+  const std::size_t bits = static_cast<std::size_t>(w) * (1 + max_degree);
+  return static_cast<unsigned>((bits + bandwidth - 1) / bandwidth) + 1;
+}
+
+void TriangleDetection::init(const CongestView& view) {
+  view_ = view;
+  width_ = std::max(1u, ceil_log2(view.n));
+  // Stream: [my degree][my neighbor IDs...] — identical to every neighbor.
+  std::vector<bool> stream;
+  auto push = [&](std::uint64_t value) {
+    for (unsigned i = 0; i < width_; ++i) stream.push_back((value >> i) & 1);
+  };
+  push(view.neighbor_ids.size());
+  for (std::uint64_t u : view.neighbor_ids) push(u);
+  tx_bits_.assign(1, stream);  // one shared stream
+  rx_bits_.assign(view.neighbor_ids.size(), {});
+  rounds_done_ = 0;
+}
+
+std::vector<Message> TriangleDetection::send(unsigned round) {
+  const std::vector<bool>& stream = tx_bits_[0];
+  const std::size_t start = static_cast<std::size_t>(round) * view_.bandwidth;
+  Message chunk = Message::silent();
+  if (start < stream.size()) {
+    const unsigned take = static_cast<unsigned>(
+        std::min<std::size_t>(view_.bandwidth, stream.size() - start));
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < take; ++i) {
+      if (stream[start + i]) value |= (1ULL << i);
+    }
+    chunk = Message::bits(value, take);
+  }
+  return std::vector<Message>(view_.neighbor_ids.size(), chunk);
+}
+
+void TriangleDetection::receive(unsigned round, std::span<const Message> inbox) {
+  (void)round;
+  for (std::size_t i = 0; i < inbox.size(); ++i) {
+    const Message& m = inbox[i];
+    for (unsigned k = 0; k < m.num_bits(); ++k) rx_bits_[i].push_back(m.bit(k));
+  }
+  ++rounds_done_;
+
+  // Check completed streams for triangle witnesses.
+  for (std::size_t i = 0; i < rx_bits_.size(); ++i) {
+    const auto& bits = rx_bits_[i];
+    if (bits.size() < width_) continue;
+    auto read = [&](std::size_t at) {
+      std::uint64_t value = 0;
+      for (unsigned k = 0; k < width_; ++k) {
+        if (bits[at + k]) value |= (1ULL << k);
+      }
+      return value;
+    };
+    const std::uint64_t deg = read(0);
+    if (bits.size() < static_cast<std::size_t>(width_) * (1 + deg)) continue;
+    for (std::uint64_t e = 0; e < deg; ++e) {
+      const std::uint64_t w = read(width_ * (1 + e));
+      if (w == view_.id) continue;
+      if (std::binary_search(view_.neighbor_ids.begin(), view_.neighbor_ids.end(), w)) {
+        triangle_ = true;
+      }
+    }
+  }
+}
+
+bool TriangleDetection::finished() const {
+  // Own stream sent?
+  if (static_cast<std::size_t>(rounds_done_) * view_.bandwidth < tx_bits_[0].size()) {
+    return false;
+  }
+  // Every neighbor's stream complete?
+  for (const auto& bits : rx_bits_) {
+    if (bits.size() < width_) return false;
+    std::uint64_t deg = 0;
+    for (unsigned k = 0; k < width_; ++k) {
+      if (bits[k]) deg |= (1ULL << k);
+    }
+    if (bits.size() < static_cast<std::size_t>(width_) * (1 + deg)) return false;
+  }
+  return true;
+}
+
+bool TriangleDetection::decide() const { return !triangle_; }
+
+CongestAlgorithmFactory triangle_detection_factory() {
+  return [] { return std::make_unique<TriangleDetection>(); };
+}
+
+}  // namespace bcclb

@@ -1,0 +1,46 @@
+// Triangle detection in KT-1 CONGEST — the [Fis+18] setting from the
+// paper's related work, where an Ω(log n) deterministic lower bound is
+// known for 1-bit bandwidth.
+//
+// The natural upper bound implemented here: every vertex streams its
+// (sorted) neighbor list to all neighbors, ⌈log₂ n⌉ bits per entry; vertex
+// v flags a triangle when some neighbor u announces a w that is also v's
+// neighbor. Rounds = ⌈Δ·⌈log₂ n⌉ / b⌉ + 1 where Δ is the maximum degree —
+// Θ(log n) for constant-degree graphs at b = 1, i.e. the regime where the
+// [Fis+18] bound is tight.
+//
+// Decision convention: decide() = "I saw no triangle", so the system's AND
+// is true iff the graph is triangle-free.
+#pragma once
+
+#include "congest/model.h"
+
+namespace bcclb {
+
+class TriangleDetection final : public CongestAlgorithm {
+ public:
+  void init(const CongestView& view) override;
+  std::vector<Message> send(unsigned round) override;
+  void receive(unsigned round, std::span<const Message> inbox) override;
+  bool finished() const override;
+  bool decide() const override;
+
+  static unsigned rounds_needed(std::size_t n, std::size_t max_degree, unsigned bandwidth);
+
+ private:
+  CongestView view_;
+  unsigned width_ = 1;          // bits per announced neighbor ID (+1 validity flag)
+  unsigned stream_rounds_ = 0;  // rounds to ship Δ entries
+  unsigned rounds_done_ = 0;
+  std::size_t max_degree_ = 0;
+  std::vector<std::vector<bool>> tx_bits_;   // one stream per neighbor (identical)
+  std::vector<std::vector<bool>> rx_bits_;   // accumulated per neighbor
+  bool triangle_ = false;
+};
+
+CongestAlgorithmFactory triangle_detection_factory();
+
+// Brute-force reference.
+bool has_triangle(const Graph& g);
+
+}  // namespace bcclb

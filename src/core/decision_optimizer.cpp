@@ -1,0 +1,119 @@
+#include "core/decision_optimizer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+#include "crossing/ported_instance.h"
+#include "graph/cycle_structure.h"
+
+namespace bcclb {
+
+namespace {
+
+struct InstanceStates {
+  bool is_yes = false;       // one-cycle (connected) instance
+  double mass = 0.0;         // µ weight
+  std::vector<std::uint32_t> states;  // state ids of its n vertices
+};
+
+}  // namespace
+
+DecisionOptimizerReport optimize_decision_rule(std::size_t n, unsigned t,
+                                               const AlgorithmFactory& broadcast_behaviour,
+                                               const PublicCoins* coins) {
+  BCCLB_REQUIRE(n >= 6 && n <= 9, "exhaustive optimization supports 6 <= n <= 9");
+  DecisionOptimizerReport report;
+  report.n = n;
+  report.t = t;
+
+  const auto v1 = all_one_cycle_structures(n);
+  const auto v2 = all_two_cycle_structures(n);
+  const double mu1 = 0.5 / static_cast<double>(v1.size());
+  const double mu2 = 0.5 / static_cast<double>(v2.size());
+
+  // Collect per-vertex states; intern them as dense ids.
+  std::map<std::string, std::uint32_t> state_id;
+  std::vector<InstanceStates> instances;
+  instances.reserve(v1.size() + v2.size());
+  auto ingest = [&](const CycleStructure& cs, bool is_yes, double mass) {
+    const BccInstance inst = canonical_kt0_instance(cs);
+    BccSimulator sim(inst, 1, coins);
+    const Transcript tr = sim.run(broadcast_behaviour, t).transcript;
+    InstanceStates rec;
+    rec.is_yes = is_yes;
+    rec.mass = mass;
+    rec.states.reserve(n);
+    for (VertexId v = 0; v < n; ++v) {
+      const std::string sig = vertex_state_signature(inst, tr, v);
+      const auto [it, inserted] =
+          state_id.emplace(sig, static_cast<std::uint32_t>(state_id.size()));
+      rec.states.push_back(it->second);
+    }
+    std::sort(rec.states.begin(), rec.states.end());
+    instances.push_back(std::move(rec));
+  };
+  for (const auto& cs : v1) ingest(cs, true, mu1);
+  for (const auto& cs : v2) ingest(cs, false, mu2);
+  report.num_states = state_id.size();
+
+  // Inseparable pairs: identical state multisets across the class boundary.
+  {
+    std::map<std::vector<std::uint32_t>, std::pair<std::size_t, std::size_t>> multiset_count;
+    for (const auto& rec : instances) {
+      auto& c = multiset_count[rec.states];
+      (rec.is_yes ? c.first : c.second) += 1;
+    }
+    for (const auto& [key, c] : multiset_count) {
+      report.inseparable_pairs += std::min(c.first, c.second);
+    }
+  }
+
+  // Greedy red-blue cover over "which states vote NO". An instance outputs
+  // NO iff it contains at least one NO-voting state. Start from the
+  // always-YES rule (error = NO mass = 0.5) and add the state with the best
+  // marginal gain: newly-covered NO mass minus newly-broken YES mass.
+  const std::size_t num_states = state_id.size();
+  std::vector<std::vector<std::uint32_t>> instances_of_state(num_states);
+  for (std::uint32_t idx = 0; idx < instances.size(); ++idx) {
+    std::uint32_t prev = UINT32_MAX;
+    for (std::uint32_t s : instances[idx].states) {
+      if (s != prev) instances_of_state[s].push_back(idx);
+      prev = s;
+    }
+  }
+  std::vector<std::uint32_t> no_hits(instances.size(), 0);  // chosen states per instance
+  std::vector<bool> chosen(num_states, false);
+  double error = 0.5;  // always-YES errs on all NO mass
+  for (;;) {
+    double best_gain = 1e-15;
+    std::size_t best_state = num_states;
+    for (std::size_t s = 0; s < num_states; ++s) {
+      if (chosen[s]) continue;
+      double gain = 0.0;
+      for (std::uint32_t idx : instances_of_state[s]) {
+        if (no_hits[idx] > 0) continue;  // already outputs NO
+        gain += instances[idx].is_yes ? -instances[idx].mass : instances[idx].mass;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_state = s;
+      }
+    }
+    if (best_state == num_states) break;
+    chosen[best_state] = true;
+    ++report.states_voting_no;
+    for (std::uint32_t idx : instances_of_state[best_state]) {
+      if (no_hits[idx] == 0) {
+        error += instances[idx].is_yes ? instances[idx].mass : -instances[idx].mass;
+      }
+      ++no_hits[idx];
+    }
+  }
+  report.greedy_error = error;
+  return report;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,76 @@
+#include "core/info_engine.h"
+
+#include <cmath>
+
+#include "bcc/algorithms/boruvka.h"
+#include "comm/partition_protocols.h"
+#include "core/kt1_engine.h"
+#include "common/check.h"
+#include "info/entropy.h"
+#include "partition/bell.h"
+#include "partition/enumeration.h"
+
+namespace bcclb {
+
+InfoReport partition_comp_information(std::size_t n, double keep_fraction) {
+  BCCLB_REQUIRE(n >= 1 && n <= 10, "exhaustive information sweep supports n <= 10");
+  InfoReport report;
+  report.n = n;
+  report.keep_fraction = keep_fraction;
+  report.h_pa = log2_bell(n);
+
+  const SetPartition pb = SetPartition::finest(n);
+  JointDistribution joint;
+  std::size_t errors = 0;
+  std::size_t total = 0;
+  std::uint64_t index = 0;
+  for_each_partition(n, [&](const SetPartition& pa) {
+    PartitionCompAlice alice(pa, keep_fraction);
+    PartitionCompBob bob(pb);
+    const ProtocolResult res = run_protocol(alice, bob, 4);
+    report.max_transcript_bits = std::max(report.max_transcript_bits, res.total_bits());
+    // PB is the finest partition, so the correct join is PA itself.
+    if (!(bob.join() == pa)) ++errors;
+    joint.add("pa:" + std::to_string(index), res.transcript, 1.0);
+    ++total;
+    ++index;
+    return true;
+  });
+
+  report.realized_error = static_cast<double>(errors) / static_cast<double>(total);
+  report.mutual_information = mutual_information(joint);
+  report.fano_floor = std::max(0.0, (1.0 - report.realized_error) * report.h_pa - 1.0);
+  // Section 4.3 accounting at b = 1: per simulated round each party
+  // describes 2n {0,1,⊥} characters, log2(3) bits each, both directions.
+  const double bits_per_round = 2.0 * 2.0 * static_cast<double>(n) * std::log2(3.0);
+  report.implied_bcc_rounds = report.mutual_information / bits_per_round;
+  return report;
+}
+
+BccInfoReport bcc_simulation_information(std::size_t n, unsigned bandwidth) {
+  BCCLB_REQUIRE(n >= 1 && n <= 7, "exhaustive BCC information sweep supports n <= 7");
+  BccInfoReport report;
+  report.n = n;
+  report.bandwidth = bandwidth;
+  report.h_pa = log2_bell(n);
+  report.all_correct = true;
+
+  const SetPartition pb = SetPartition::finest(n);
+  JointDistribution joint;
+  std::uint64_t index = 0;
+  for_each_partition(n, [&](const SetPartition& pa) {
+    const auto out = solve_partition_via_bcc(pa, pb, boruvka_factory(), bandwidth, 4000);
+    report.max_bits = std::max(report.max_bits, out.sim.total_bits());
+    report.max_rounds = std::max(report.max_rounds, out.sim.bcc_rounds);
+    if (!(out.recovered_join.has_value() && *out.recovered_join == pa.join(pb))) {
+      report.all_correct = false;
+    }
+    joint.add("pa:" + std::to_string(index), out.sim.comm.transcript, 1.0);
+    ++index;
+    return true;
+  });
+  report.transcript_information = mutual_information(joint);
+  return report;
+}
+
+}  // namespace bcclb

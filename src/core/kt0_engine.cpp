@@ -1,0 +1,218 @@
+#include "core/kt0_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "crossing/active_edges.h"
+#include "crossing/crossing.h"
+#include "crossing/matching.h"
+#include "crossing/ported_instance.h"
+#include "graph/generators.h"
+
+namespace bcclb {
+
+namespace {
+
+Transcript run_for_transcript(const BccInstance& instance, const AlgorithmFactory& factory,
+                              unsigned t, const PublicCoins* coins) {
+  BccSimulator sim(instance, 1, coins);
+  return sim.run(factory, t).transcript;
+}
+
+bool run_decision(const BccInstance& instance, const AlgorithmFactory& factory, unsigned t,
+                  const PublicCoins* coins) {
+  BccSimulator sim(instance, 1, coins);
+  return sim.run(factory, t).decision;
+}
+
+double choose2(double m) { return m * (m - 1.0) / 2.0; }
+
+}  // namespace
+
+StarErrorReport star_error_experiment(std::size_t n, unsigned t,
+                                      const AlgorithmFactory& factory, const PublicCoins* coins,
+                                      std::size_t max_verifications) {
+  BCCLB_REQUIRE(n >= 6, "need n >= 6");
+  StarErrorReport report;
+  report.n = n;
+  report.t = t;
+
+  // Canonical one-cycle instance I: the cycle 0-1-...-(n-1)-0.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const CycleStructure cs = CycleStructure::single_cycle(order);
+  const BccInstance instance = canonical_kt0_instance(cs);
+  const Transcript transcript = run_for_transcript(instance, factory, t, coins);
+
+  // S: every third cycle edge — bn/3c pairwise-independent edges (footnote 3).
+  std::vector<DirectedEdge> s_edges;
+  for (std::size_t i = 0; i + 1 < n && s_edges.size() < n / 3; i += 3) {
+    s_edges.push_back({static_cast<VertexId>(i), static_cast<VertexId>(i + 1)});
+  }
+  report.independent_set_size = s_edges.size();
+  for (std::size_t a = 0; a < s_edges.size(); ++a) {
+    for (std::size_t b = a + 1; b < s_edges.size(); ++b) {
+      BCCLB_CHECK(cs.edges_independent(s_edges[a], s_edges[b]), "S must be independent");
+    }
+  }
+
+  // Pigeonhole into 2t-character labels.
+  std::map<std::string, std::vector<DirectedEdge>> classes;
+  for (const DirectedEdge& e : s_edges) {
+    classes[transcript.edge_label(e.tail, e.head)].push_back(e);
+  }
+  const auto largest = std::max_element(
+      classes.begin(), classes.end(),
+      [](const auto& a, const auto& b) { return a.second.size() < b.second.size(); });
+  const std::vector<DirectedEdge>& s_prime = largest->second;
+  report.largest_class_size = s_prime.size();
+  report.pigeonhole_floor = static_cast<double>(s_edges.size()) /
+                            std::pow(3.0, 2.0 * static_cast<double>(t));
+  report.forced_error = choose2(static_cast<double>(s_prime.size())) /
+                        (2.0 * choose2(static_cast<double>(s_edges.size())));
+  report.theory_floor = std::pow(3.0, -4.0 * static_cast<double>(t)) / 2.0;
+
+  // Measured error under µ: the algorithm must say YES on I and NO on every
+  // crossing (all crossings of S-pairs are two-cycle instances).
+  std::size_t wrong = 0, total = 0;
+  const bool yes_on_i = run_decision(instance, factory, t, coins);
+  for (std::size_t a = 0; a < s_edges.size(); ++a) {
+    for (std::size_t b = a + 1; b < s_edges.size(); ++b) {
+      const BccInstance crossed = port_preserving_crossing(instance, s_edges[a], s_edges[b]);
+      if (run_decision(crossed, factory, t, coins)) ++wrong;
+      ++total;
+    }
+  }
+  report.measured_error = 0.5 * (yes_on_i ? 0.0 : 1.0) +
+                          0.5 * static_cast<double>(wrong) / static_cast<double>(total);
+
+  // Lemma 3.4 verification: crossings of same-class pairs must be state-wise
+  // indistinguishable from I after t rounds.
+  for (std::size_t a = 0; a < s_prime.size() && report.crossings_checked < max_verifications;
+       ++a) {
+    for (std::size_t b = a + 1;
+         b < s_prime.size() && report.crossings_checked < max_verifications; ++b) {
+      const BccInstance crossed = port_preserving_crossing(instance, s_prime[a], s_prime[b]);
+      const Transcript crossed_tr = run_for_transcript(crossed, factory, t, coins);
+      bool same = true;
+      for (VertexId v = 0; v < n && same; ++v) {
+        same = vertex_state_signature(instance, transcript, v) ==
+               vertex_state_signature(crossed, crossed_tr, v);
+      }
+      ++report.crossings_checked;
+      if (same) ++report.crossings_verified;
+    }
+  }
+  return report;
+}
+
+ActiveEdgeFn algorithm_active_edges(unsigned t, const AlgorithmFactory& factory,
+                                    const std::string& x, const std::string& y,
+                                    const PublicCoins* coins) {
+  return [t, factory, x, y, coins](const CycleStructure& cs) {
+    const BccInstance instance = canonical_kt0_instance(cs);
+    const Transcript transcript = run_for_transcript(instance, factory, t, coins);
+    return active_edges(cs, transcript, x, y);
+  };
+}
+
+SampledErrorReport kt0_sampled_error(std::size_t n, unsigned t,
+                                     const AlgorithmFactory& factory, std::size_t samples,
+                                     std::uint64_t seed, const PublicCoins* coins) {
+  BCCLB_REQUIRE(n >= 6 && samples >= 1, "need n >= 6 and at least one sample");
+  SampledErrorReport report;
+  report.n = n;
+  report.t = t;
+  report.samples = samples;
+  Rng rng(seed);
+
+  std::size_t wrong_yes = 0, wrong_no = 0;
+  double class_sum = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const CycleStructure one = random_one_cycle(n, rng);
+    const BccInstance i1 = random_kt0_instance(one, rng);
+    BccSimulator sim1(i1, 1, coins);
+    const RunResult r1 = sim1.run(factory, t);
+    if (!r1.decision) ++wrong_yes;
+    class_sum += static_cast<double>(edge_label_classes(one, r1.transcript)[0].edges.size());
+
+    const CycleStructure two = random_two_cycle(n, rng);
+    const BccInstance i2 = random_kt0_instance(two, rng);
+    BccSimulator sim2(i2, 1, coins);
+    if (sim2.run(factory, t).decision) ++wrong_no;
+  }
+  report.yes_error = static_cast<double>(wrong_yes) / static_cast<double>(samples);
+  report.no_error = static_cast<double>(wrong_no) / static_cast<double>(samples);
+  report.total_error = 0.5 * (report.yes_error + report.no_error);
+  report.mean_largest_class = class_sum / static_cast<double>(samples);
+  return report;
+}
+
+Kt0MatchingReport kt0_matching_experiment(std::size_t n, unsigned t,
+                                          const AlgorithmFactory& factory,
+                                          const PublicCoins* coins) {
+  Kt0MatchingReport report;
+  report.n = n;
+  report.t = t;
+
+  const auto v1 = all_one_cycle_structures(n);
+  const auto v2 = all_two_cycle_structures(n);
+  report.v1 = v1.size();
+  report.v2 = v2.size();
+  report.size_ratio = static_cast<double>(v2.size()) / static_cast<double>(v1.size());
+  report.harmonic_prediction = harmonic(n / 2) - 1.5;
+
+  // Measured distributional error under µ (half on V1 uniformly, half on V2
+  // uniformly): correct answer is YES on V1, NO on V2.
+  std::size_t wrong1 = 0, wrong2 = 0;
+  for (const CycleStructure& cs : v1) {
+    if (!run_decision(canonical_kt0_instance(cs), factory, t, coins)) ++wrong1;
+  }
+  for (const CycleStructure& cs : v2) {
+    if (run_decision(canonical_kt0_instance(cs), factory, t, coins)) ++wrong2;
+  }
+  report.measured_error = 0.5 * static_cast<double>(wrong1) / static_cast<double>(v1.size()) +
+                          0.5 * static_cast<double>(wrong2) / static_cast<double>(v2.size());
+
+  // Pick the (x, y) with the largest total active-edge mass over V1.
+  std::map<std::string, std::size_t> label_mass;
+  std::vector<Transcript> transcripts;
+  transcripts.reserve(v1.size());
+  for (const CycleStructure& cs : v1) {
+    transcripts.push_back(run_for_transcript(canonical_kt0_instance(cs), factory, t, coins));
+    for (const auto& cls : edge_label_classes(cs, transcripts.back())) {
+      label_mass[cls.label] += cls.edges.size();
+    }
+  }
+  const auto best = std::max_element(
+      label_mass.begin(), label_mass.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  report.best_label = best->first;
+  const std::string x = report.best_label.substr(0, t);
+  const std::string y = report.best_label.substr(t);
+
+  // G^t_{x,y} and its matching bounds. Transcripts were already computed;
+  // rebuild activity from them (structures enumerate in the same order).
+  std::size_t next = 0;
+  std::map<std::string, std::size_t> order_of;
+  for (const CycleStructure& cs : v1) order_of[cs.key()] = next++;
+  const ActiveEdgeFn active = [&](const CycleStructure& cs) {
+    const auto it = order_of.find(cs.key());
+    BCCLB_CHECK(it != order_of.end(), "activity queried for unknown one-cycle");
+    return active_edges(cs, transcripts[it->second], x, y);
+  };
+  const IndistinguishabilityGraph g = build_indistinguishability_graph(n, active);
+  report.graph_edges = g.num_edges();
+  report.max_matching = max_bipartite_matching(g.adj, g.two_cycles.size());
+  report.max_saturating_k = max_saturating_k(g.adj, g.two_cycles.size(), 8);
+  const double mu1 = 0.5 / static_cast<double>(v1.size());
+  const double mu2 = 0.5 / static_cast<double>(v2.size());
+  report.matching_error_bound = static_cast<double>(report.max_matching) * std::min(mu1, mu2);
+  return report;
+}
+
+}  // namespace bcclb

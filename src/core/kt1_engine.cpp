@@ -1,0 +1,208 @@
+#include "core/kt1_engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+namespace {
+
+// One side of the Section 4.3 simulation. Hosts a subset of the instance's
+// vertices, drives their VertexAlgorithms, and exchanges per-round character
+// blocks with the other side. Characters are fixed-width: 1 silence flag +
+// b bits, per hosted vertex, in increasing vertex order; plus one
+// all-my-vertices-finished flag per message.
+class BccHostParty final : public PartyAlgorithm {
+ public:
+  BccHostParty(const BccInstance& instance, std::vector<VertexId> hosted,
+               const AlgorithmFactory& factory, unsigned bandwidth, const PublicCoins* coins)
+      : instance_(instance), hosted_(std::move(hosted)), bandwidth_(bandwidth) {
+    std::sort(hosted_.begin(), hosted_.end());
+    const std::size_t n = instance.num_vertices();
+    round_broadcasts_.assign(n, Message::silent());
+    for (VertexId v : hosted_) {
+      LocalView view;
+      view.n = n;
+      view.bandwidth = bandwidth;
+      view.mode = instance.mode();
+      view.id = instance.id_of(v);
+      view.input_ports = instance.input_ports(v);
+      view.coins = coins;
+      for (VertexId u = 0; u < n; ++u) view.all_ids.push_back(instance.id_of(u));
+      std::sort(view.all_ids.begin(), view.all_ids.end());
+      for (Port p = 0; p + 1 < n; ++p) {
+        view.port_peer_ids.push_back(instance.id_of(instance.wiring().peer(v, p)));
+      }
+      auto alg = factory();
+      alg->init(view);
+      algs_.push_back(std::move(alg));
+    }
+  }
+
+  // Bits per encoded character: a 7-bit length (0 encodes ⊥) plus b value
+  // bits, so messages round-trip with their exact lengths and the two-party
+  // run replays the direct simulator bit-for-bit.
+  unsigned char_bits() const { return 7 + bandwidth_; }
+
+  std::vector<bool> send(unsigned round) override {
+    // The receive-first party may have set done_ while processing this same
+    // round; its round-t message was already computed and must still go out
+    // so the other side's round-t inboxes are complete.
+    if (computed_round_ != static_cast<int>(round)) {
+      if (done_) return {};
+      compute_round_broadcasts(round);
+    }
+    return pending_msg_;
+  }
+
+  void receive(unsigned round, const std::vector<bool>& msg) override {
+    if (done_) return;
+    // The receive-first party must compute its own round-t broadcasts before
+    // delivering inboxes (its send() is only called after this receive).
+    compute_round_broadcasts(round);
+    BCCLB_REQUIRE(
+        msg.size() == (instance_.num_vertices() - hosted_.size()) * char_bits() + 1,
+        "malformed simulation message");
+    // Decode the other side's characters, attributed by increasing vertex id
+    // (both sides know the hosting split).
+    std::size_t at = 0;
+    for (VertexId v = 0; v < instance_.num_vertices(); ++v) {
+      if (std::binary_search(hosted_.begin(), hosted_.end(), v)) continue;
+      const unsigned len = static_cast<unsigned>(read_uint(msg, at, 7));
+      const std::uint64_t value = read_uint(msg, at, bandwidth_);
+      round_broadcasts_[v] = len == 0 ? Message::silent() : Message::bits(value, len);
+    }
+    const bool other_flag = msg[at++];
+
+    // Deliver round-t inboxes to hosted vertices.
+    const std::size_t n = instance_.num_vertices();
+    std::vector<Message> inbox(n - 1);
+    for (std::size_t i = 0; i < hosted_.size(); ++i) {
+      if (algs_[i]->finished()) continue;
+      for (Port p = 0; p + 1 < n; ++p) {
+        inbox[p] = round_broadcasts_[instance_.wiring().peer(hosted_[i], p)];
+      }
+      algs_[i]->receive(round, inbox);
+    }
+    if (my_flag_ && other_flag) done_ = true;
+  }
+
+  bool finished() const override { return done_; }
+
+  // Computes (once per round) the hosted vertices' round-t broadcasts, the
+  // outgoing message and the all-finished flag.
+  void compute_round_broadcasts(unsigned round) {
+    if (computed_round_ == static_cast<int>(round)) return;
+    computed_round_ = static_cast<int>(round);
+    pending_msg_.clear();
+    pending_msg_.reserve(hosted_.size() * char_bits() + 1);
+    bool all_finished = true;
+    for (std::size_t i = 0; i < hosted_.size(); ++i) {
+      const Message m = algs_[i]->finished() ? Message::silent() : algs_[i]->broadcast(round);
+      all_finished = all_finished && algs_[i]->finished();
+      round_broadcasts_[hosted_[i]] = m;
+      append_uint(pending_msg_, m.num_bits(), 7);
+      append_uint(pending_msg_, m.is_silent() ? 0 : m.value(), bandwidth_);
+    }
+    pending_msg_.push_back(all_finished);
+    my_flag_ = all_finished;
+  }
+
+  bool hosted_decision() const {
+    return std::all_of(algs_.begin(), algs_.end(), [](const auto& a) { return a->decide(); });
+  }
+
+  void collect_labels(std::vector<std::optional<std::uint64_t>>& labels) const {
+    for (std::size_t i = 0; i < hosted_.size(); ++i) {
+      labels[hosted_[i]] = algs_[i]->component_label();
+    }
+  }
+
+ private:
+  const BccInstance& instance_;
+  std::vector<VertexId> hosted_;
+  unsigned bandwidth_;
+  std::vector<std::unique_ptr<VertexAlgorithm>> algs_;
+  std::vector<Message> round_broadcasts_;
+  std::vector<bool> pending_msg_;
+  int computed_round_ = -1;
+  bool my_flag_ = false;
+  bool done_ = false;
+};
+
+}  // namespace
+
+Kt1SimulationResult simulate_kt1_two_party(const BccInstance& instance,
+                                           const std::function<bool(VertexId)>& alice_hosts,
+                                           const AlgorithmFactory& factory, unsigned bandwidth,
+                                           unsigned max_rounds, const PublicCoins* coins) {
+  BCCLB_REQUIRE(instance.mode() == KnowledgeMode::kKT1,
+                "the Section 4.3 simulation targets KT-1 algorithms");
+  std::vector<VertexId> alice_set, bob_set;
+  for (VertexId v = 0; v < instance.num_vertices(); ++v) {
+    (alice_hosts(v) ? alice_set : bob_set).push_back(v);
+  }
+  BCCLB_REQUIRE(!alice_set.empty() && !bob_set.empty(), "both parties must host vertices");
+
+  BccHostParty alice(instance, alice_set, factory, bandwidth, coins);
+  BccHostParty bob(instance, bob_set, factory, bandwidth, coins);
+
+  Kt1SimulationResult result;
+  result.comm = run_protocol(alice, bob, max_rounds + 1);
+  // The final exchange only carries the mutual "finished" handshake round;
+  // BCC rounds are one fewer than protocol rounds when the handshake closed
+  // cleanly, but every exchanged round did simulate a broadcast round.
+  result.bcc_rounds = result.comm.rounds;
+  result.bits_per_round =
+      static_cast<std::uint64_t>(alice_set.size()) * (7 + bandwidth) + 1;
+  result.decision = alice.hosted_decision() && bob.hosted_decision();
+  result.labels.assign(instance.num_vertices(), std::nullopt);
+  alice.collect_labels(result.labels);
+  bob.collect_labels(result.labels);
+  return result;
+}
+
+namespace {
+
+std::optional<SetPartition> recover_join_from_labels(
+    const std::vector<std::optional<std::uint64_t>>& labels, VertexId l0, std::size_t n) {
+  std::vector<std::uint32_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!labels[l0 + i].has_value()) return std::nullopt;
+    ids[i] = static_cast<std::uint32_t>(*labels[l0 + i]);
+  }
+  return SetPartition::from_labels(ids);
+}
+
+}  // namespace
+
+PartitionViaBcc solve_partition_via_bcc(const SetPartition& pa, const SetPartition& pb,
+                                        const AlgorithmFactory& factory, unsigned bandwidth,
+                                        unsigned max_rounds, const PublicCoins* coins) {
+  const PartitionReduction red = build_partition_reduction(pa, pb);
+  const BccInstance instance = BccInstance::kt1(red.graph);
+  PartitionViaBcc out{
+      simulate_kt1_two_party(
+          instance, [&](VertexId v) { return red.alice_hosts(v); }, factory, bandwidth,
+          max_rounds, coins),
+      pa.join(pb).is_coarsest(), pa.join(pb), std::nullopt};
+  out.recovered_join = recover_join_from_labels(out.sim.labels, red.l(0), red.ground_n);
+  return out;
+}
+
+PartitionViaBcc solve_two_partition_via_bcc(const SetPartition& pa, const SetPartition& pb,
+                                            const AlgorithmFactory& factory, unsigned bandwidth,
+                                            unsigned max_rounds, const PublicCoins* coins) {
+  const TwoPartitionReduction red = build_two_partition_reduction(pa, pb);
+  const BccInstance instance = BccInstance::kt1(red.graph);
+  PartitionViaBcc out{
+      simulate_kt1_two_party(
+          instance, [&](VertexId v) { return red.alice_hosts(v); }, factory, bandwidth,
+          max_rounds, coins),
+      pa.join(pb).is_coarsest(), pa.join(pb), std::nullopt};
+  out.recovered_join = recover_join_from_labels(out.sim.labels, red.l(0), red.ground_n);
+  return out;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,85 @@
+#include "core/reduction.h"
+
+#include "common/check.h"
+#include "graph/components.h"
+#include "graph/cycle_structure.h"
+
+namespace bcclb {
+
+namespace {
+
+SetPartition label_partition_on_range(const Graph& g, VertexId first, std::size_t count) {
+  const auto labels = component_labels(g);
+  std::vector<std::uint32_t> sub(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sub[i] = static_cast<std::uint32_t>(labels[first + i]);
+  }
+  return SetPartition::from_labels(sub);
+}
+
+}  // namespace
+
+SetPartition PartitionReduction::components_on_l() const {
+  return label_partition_on_range(graph, l(0), ground_n);
+}
+
+PartitionReduction build_partition_reduction(const SetPartition& pa, const SetPartition& pb) {
+  BCCLB_REQUIRE(pa.ground_size() == pb.ground_size(), "ground sets differ");
+  const std::size_t n = pa.ground_size();
+  BCCLB_REQUIRE(n >= 1, "ground set must be nonempty");
+
+  PartitionReduction red;
+  red.ground_n = n;
+  red.graph = Graph(4 * n);
+  Graph& g = red.graph;
+
+  // Spine: (l_i, r_i), independent of the inputs.
+  for (std::size_t i = 0; i < n; ++i) g.add_edge(red.l(i), red.r(i));
+
+  // Alice: a_k adjacent to every l_j with j in her k-th part; helper
+  // vertices beyond her parts attach to l* = l_{n-1}.
+  const auto pa_blocks = pa.blocks();
+  for (std::size_t k = 0; k < pa_blocks.size(); ++k) {
+    for (std::uint32_t j : pa_blocks[k]) g.add_edge(red.a(k), red.l(j));
+  }
+  for (std::size_t k = pa_blocks.size(); k < n; ++k) g.add_edge(red.a(k), red.l(n - 1));
+
+  // Bob mirrors on R/B.
+  const auto pb_blocks = pb.blocks();
+  for (std::size_t k = 0; k < pb_blocks.size(); ++k) {
+    for (std::uint32_t j : pb_blocks[k]) g.add_edge(red.b(k), red.r(j));
+  }
+  for (std::size_t k = pb_blocks.size(); k < n; ++k) g.add_edge(red.b(k), red.r(n - 1));
+
+  return red;
+}
+
+SetPartition TwoPartitionReduction::components_on_l() const {
+  return label_partition_on_range(graph, l(0), ground_n);
+}
+
+std::size_t TwoPartitionReduction::shortest_cycle() const {
+  return CycleStructure::from_graph(graph).smallest_cycle_length();
+}
+
+TwoPartitionReduction build_two_partition_reduction(const SetPartition& pa,
+                                                    const SetPartition& pb) {
+  BCCLB_REQUIRE(pa.ground_size() == pb.ground_size(), "ground sets differ");
+  BCCLB_REQUIRE(pa.is_perfect_matching() && pb.is_perfect_matching(),
+                "TwoPartition inputs must be perfect matchings");
+  const std::size_t n = pa.ground_size();
+
+  TwoPartitionReduction red;
+  red.ground_n = n;
+  red.graph = Graph(2 * n);
+  Graph& g = red.graph;
+
+  for (std::size_t i = 0; i < n; ++i) g.add_edge(red.l(i), red.r(i));
+  for (const auto& block : pa.blocks()) g.add_edge(red.l(block[0]), red.l(block[1]));
+  for (const auto& block : pb.blocks()) g.add_edge(red.r(block[0]), red.r(block[1]));
+
+  BCCLB_CHECK(g.is_regular(2), "TwoPartition reduction must be 2-regular");
+  return red;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,65 @@
+// The Section 4.2 reductions (Figure 2): building G(PA, PB).
+//
+// Partition variant (left figure): 4n vertices — Alice's helper row A and
+// row L, Bob's row R and helper row B. Spine edges (l_i, r_i) for all i;
+// Alice wires a_k to every l_j with j in her k-th part (helpers with empty
+// parts attach to l* = l_{n-1}); Bob mirrors on R/B. Theorem 4.3: the
+// connected components restricted to L (equivalently R) realize PA ∨ PB, so
+// G(PA, PB) is connected iff PA ∨ PB = 1.
+//
+// TwoPartition variant (right figure): 2n vertices — rows L and R only.
+// Spine edges (l_i, r_i) plus matching edges (l_i, l_j) for {i,j} in PA and
+// (r_i, r_j) for {i,j} in PB. Every vertex has degree exactly 2, so the
+// graph is a disjoint union of cycles of length >= 4 — a MultiCycle
+// instance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/set_partition.h"
+
+namespace bcclb {
+
+// Vertex numbering for the Partition reduction: a_i = i, l_i = n + i,
+// r_i = 2n + i, b_i = 3n + i (the paper's IDs, shifted to 0-based).
+struct PartitionReduction {
+  std::size_t ground_n = 0;
+  Graph graph;  // on 4n vertices
+
+  VertexId a(std::size_t i) const { return static_cast<VertexId>(i); }
+  VertexId l(std::size_t i) const { return static_cast<VertexId>(ground_n + i); }
+  VertexId r(std::size_t i) const { return static_cast<VertexId>(2 * ground_n + i); }
+  VertexId b(std::size_t i) const { return static_cast<VertexId>(3 * ground_n + i); }
+
+  // Vertices hosted by each party in the Section 4.3 simulation.
+  bool alice_hosts(VertexId v) const { return v < 2 * ground_n; }
+
+  // The partition of [n] induced on row L by the connected components —
+  // Theorem 4.3 says this equals PA ∨ PB.
+  SetPartition components_on_l() const;
+};
+
+PartitionReduction build_partition_reduction(const SetPartition& pa, const SetPartition& pb);
+
+// Vertex numbering for the TwoPartition reduction: l_i = i, r_i = n + i.
+struct TwoPartitionReduction {
+  std::size_t ground_n = 0;
+  Graph graph;  // on 2n vertices, 2-regular
+
+  VertexId l(std::size_t i) const { return static_cast<VertexId>(i); }
+  VertexId r(std::size_t i) const { return static_cast<VertexId>(ground_n + i); }
+
+  bool alice_hosts(VertexId v) const { return v < ground_n; }
+
+  SetPartition components_on_l() const;
+
+  // Length of the shortest cycle (>= 4 by construction).
+  std::size_t shortest_cycle() const;
+};
+
+TwoPartitionReduction build_two_partition_reduction(const SetPartition& pa,
+                                                    const SetPartition& pb);
+
+}  // namespace bcclb

@@ -1,0 +1,55 @@
+#include "core/tightness.h"
+
+#include <cmath>
+
+#include "common/mathutil.h"
+
+#include "bcc/algorithms/boruvka.h"
+#include "bcc/algorithms/min_id_flood.h"
+#include "bcc/algorithms/sketch_connectivity.h"
+#include "common/check.h"
+#include "graph/components.h"
+
+namespace bcclb {
+
+UpperBoundPoint measure_upper_bounds(const Graph& input, unsigned bandwidth,
+                                     const std::string& workload, std::uint64_t seed,
+                                     bool run_flood, bool run_sketch) {
+  const std::size_t n = input.num_vertices();
+  BCCLB_REQUIRE(n >= 2, "need at least 2 vertices");
+  UpperBoundPoint point;
+  point.n = n;
+  point.bandwidth = bandwidth;
+  point.workload = workload;
+  point.truly_connected = is_connected(input);
+  point.lower_bound_rounds = std::log2(static_cast<double>(n)) / bandwidth;
+
+  const BccInstance instance = BccInstance::kt1(input);
+
+  if (run_flood && bit_width_u64(n - 1) <= bandwidth) {
+    BccSimulator sim(instance, bandwidth);
+    const RunResult r = sim.run(min_id_flood_factory(), MinIdFloodAlgorithm::rounds_needed(n));
+    point.flood_ran = true;
+    point.flood_rounds = r.rounds_executed;
+    point.flood_correct = (r.decision == point.truly_connected);
+  }
+  {
+    BccSimulator sim(instance, bandwidth);
+    const RunResult r = sim.run(boruvka_factory(), BoruvkaAlgorithm::max_rounds(n, bandwidth));
+    point.boruvka_rounds = r.rounds_executed;
+    point.boruvka_correct = (r.decision == point.truly_connected);
+  }
+  if (run_sketch) {
+    const PublicCoins coins(seed, 4096);
+    BccSimulator sim(instance, bandwidth, &coins);
+    const unsigned cap = SketchConnectivityAlgorithm::max_rounds(n, bandwidth);
+    const RunResult r = sim.run(sketch_connectivity_factory(), cap);
+    point.sketch_ran = true;
+    point.sketch_rounds = r.rounds_executed;
+    point.sketch_correct = (r.decision == point.truly_connected);
+    point.sketch_bits_per_vertex = r.total_bits_broadcast / n;
+  }
+  return point;
+}
+
+}  // namespace bcclb

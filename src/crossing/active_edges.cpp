@@ -1,0 +1,52 @@
+#include "crossing/active_edges.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+std::vector<EdgeClass> edge_label_classes(const CycleStructure& cs,
+                                          const Transcript& transcript) {
+  BCCLB_REQUIRE(cs.num_vertices() == transcript.num_vertices(),
+                "structure and transcript disagree on n");
+  std::map<std::string, std::vector<DirectedEdge>> by_label;
+  for (const DirectedEdge& e : cs.directed_edges()) {
+    by_label[transcript.edge_label(e.tail, e.head)].push_back(e);
+  }
+  std::vector<EdgeClass> classes;
+  classes.reserve(by_label.size());
+  for (auto& [label, edges] : by_label) {
+    classes.push_back({label, std::move(edges)});
+  }
+  std::sort(classes.begin(), classes.end(), [](const EdgeClass& a, const EdgeClass& b) {
+    return a.edges.size() > b.edges.size();
+  });
+  return classes;
+}
+
+std::vector<DirectedEdge> active_edges(const CycleStructure& cs, const Transcript& transcript,
+                                       const std::string& x, const std::string& y) {
+  std::vector<DirectedEdge> out;
+  for (const DirectedEdge& e : cs.directed_edges()) {
+    if (transcript.sent_string(e.tail) == x && transcript.sent_string(e.head) == y) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<DirectedEdge> greedy_independent_subset(const CycleStructure& cs,
+                                                    const std::vector<DirectedEdge>& edges) {
+  std::vector<DirectedEdge> chosen;
+  for (const DirectedEdge& e : edges) {
+    const bool ok = std::all_of(chosen.begin(), chosen.end(), [&](const DirectedEdge& c) {
+      return cs.edges_independent(e, c);
+    });
+    if (ok) chosen.push_back(e);
+  }
+  return chosen;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,39 @@
+// Active edges and edge-label classes (Section 3).
+//
+// Fix strings x, y in {0,1,⊥}^t. A directed input edge (v, u) is active
+// w.r.t. (x, y) iff v broadcast x and u broadcast y over the first t rounds.
+// The proofs of Theorems 3.5 and 3.1 pigeonhole the n directed edges of a
+// one-cycle instance into at most 3^(2t) label classes, so some class has
+// >= n / 3^(2t) edges. This module extracts those classes from a transcript.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bcc/transcript.h"
+#include "graph/cycle_structure.h"
+
+namespace bcclb {
+
+struct EdgeClass {
+  std::string label;  // x followed by y, 2t characters for b = 1
+  std::vector<DirectedEdge> edges;
+};
+
+// Label classes of the clockwise-directed input edges, largest first.
+std::vector<EdgeClass> edge_label_classes(const CycleStructure& cs,
+                                          const Transcript& transcript);
+
+// The x,y-active directed edges: all edges whose label equals x+y.
+std::vector<DirectedEdge> active_edges(const CycleStructure& cs, const Transcript& transcript,
+                                       const std::string& x, const std::string& y);
+
+// A maximal-by-greedy pairwise-independent subset (Definition 3.2) of the
+// given edges within cs. Greedy loses at most a factor ~5 vs optimal (each
+// picked edge can conflict with few others in a 2-regular graph), which is
+// what footnote 3 ("adding an edge to S invalidates at most two others")
+// exploits.
+std::vector<DirectedEdge> greedy_independent_subset(const CycleStructure& cs,
+                                                    const std::vector<DirectedEdge>& edges);
+
+}  // namespace bcclb

@@ -1,0 +1,59 @@
+#include "crossing/crossing.h"
+
+#include "common/check.h"
+
+namespace bcclb {
+
+bool instance_edges_independent(const BccInstance& instance, const DirectedEdge& e1,
+                                const DirectedEdge& e2) {
+  const VertexId v1 = e1.tail, u1 = e1.head, v2 = e2.tail, u2 = e2.head;
+  if (v1 == v2 || v1 == u2 || u1 == v2 || u1 == u2) return false;
+  const Graph& g = instance.input();
+  return !g.has_edge(v1, u2) && !g.has_edge(v2, u1);
+}
+
+BccInstance port_preserving_crossing(const BccInstance& instance, const DirectedEdge& e1,
+                                     const DirectedEdge& e2) {
+  const VertexId v1 = e1.tail, u1 = e1.head, v2 = e2.tail, u2 = e2.head;
+  const Graph& g = instance.input();
+  BCCLB_REQUIRE(g.has_edge(v1, u1) && g.has_edge(v2, u2), "e1, e2 must be input edges");
+  BCCLB_REQUIRE(instance_edges_independent(instance, e1, e2),
+                "crossing requires independent edges");
+
+  const Wiring& w = instance.wiring();
+  // The eight ports of Definition 3.3 / Figure 1.
+  const Port p1 = w.port_at(v1, u1), q1 = w.port_at(u1, v1);
+  const Port p2 = w.port_at(v2, u2), q2 = w.port_at(u2, v2);
+  const Port p1p = w.port_at(v1, u2), q2p = w.port_at(u2, v1);  // e1' = (v1, u2)
+  const Port p2p = w.port_at(v2, u1), q1p = w.port_at(u1, v2);  // e2' = (v2, u1)
+
+  // Rewire: e1 moves to (p1', q1'), e2 to (p2', q2'), e1' to (p1, q2), and
+  // e2' to (p2, q1). At each corner vertex this swaps the peers behind its
+  // two involved ports.
+  auto tables = w.tables();
+  tables[v1][p1] = u2;
+  tables[v1][p1p] = u1;
+  tables[u1][q1] = v2;
+  tables[u1][q1p] = v1;
+  tables[v2][p2] = u1;
+  tables[v2][p2p] = u2;
+  tables[u2][q2] = v1;
+  tables[u2][q2p] = v2;
+
+  // New input graph: e1, e2 replaced by e1' = (v1, u2), e2' = (v2, u1).
+  Graph crossed(g.num_vertices());
+  for (const Edge& e : g.edges()) {
+    if (e == Edge(v1, u1) || e == Edge(v2, u2)) continue;
+    crossed.add_edge(e.u, e.v);
+  }
+  crossed.add_edge(v1, u2);
+  crossed.add_edge(v2, u1);
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(instance.num_vertices());
+  for (VertexId v = 0; v < instance.num_vertices(); ++v) ids.push_back(instance.id_of(v));
+  return BccInstance(Wiring(std::move(tables)), std::move(crossed), instance.mode(),
+                     std::move(ids));
+}
+
+}  // namespace bcclb

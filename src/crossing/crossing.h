@@ -1,0 +1,27 @@
+// Port-preserving crossings (Definition 3.3, Figure 1).
+//
+// Given independent input edges e1 = (v1, u1) and e2 = (v2, u2) of instance
+// I, the crossing I(e1, e2) replaces them with (v1, u2) and (v2, u1) and
+// rewires the four network edges so that every vertex's local port view is
+// unchanged: the input edge at v1's port p1 now leads to u2, while u1 moves
+// behind the non-input port p1' that previously led to u2 — and symmetrically
+// at the other three corners. Lemma 3.4 then gives t-round
+// indistinguishability whenever the two tails broadcast the same sequence
+// and the two heads broadcast the same sequence.
+#pragma once
+
+#include "bcc/instance.h"
+#include "graph/cycle_structure.h"
+
+namespace bcclb {
+
+// Definition 3.2 at the instance level: four distinct endpoints, and neither
+// (v1, u2) nor (v2, u1) is an input edge.
+bool instance_edges_independent(const BccInstance& instance, const DirectedEdge& e1,
+                                const DirectedEdge& e2);
+
+// The crossing I(e1, e2). Requires both to be input edges and independent.
+BccInstance port_preserving_crossing(const BccInstance& instance, const DirectedEdge& e1,
+                                     const DirectedEdge& e2);
+
+}  // namespace bcclb

@@ -1,0 +1,106 @@
+#include "crossing/indistinguishability_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+ActiveEdgeFn all_edges_active() {
+  return [](const CycleStructure& cs) { return cs.directed_edges(); };
+}
+
+std::size_t IndistinguishabilityGraph::num_edges() const {
+  std::size_t total = 0;
+  for (const auto& nbrs : adj) total += nbrs.size();
+  return total;
+}
+
+std::vector<std::size_t> IndistinguishabilityGraph::two_cycle_degrees() const {
+  std::vector<std::size_t> deg(two_cycles.size(), 0);
+  for (const auto& nbrs : adj) {
+    for (std::uint32_t j : nbrs) ++deg[j];
+  }
+  return deg;
+}
+
+double IndistinguishabilityGraph::size_ratio() const {
+  BCCLB_REQUIRE(!one_cycles.empty(), "empty V1");
+  return static_cast<double>(two_cycles.size()) / static_cast<double>(one_cycles.size());
+}
+
+IndistinguishabilityGraph build_indistinguishability_graph(std::size_t n,
+                                                           const ActiveEdgeFn& active) {
+  BCCLB_REQUIRE(n >= 6 && n <= 11, "exhaustive enumeration supports 6 <= n <= 11");
+  IndistinguishabilityGraph g;
+  g.one_cycles = all_one_cycle_structures(n);
+  g.two_cycles = all_two_cycle_structures(n);
+
+  std::unordered_map<std::string, std::uint32_t> two_cycle_index;
+  two_cycle_index.reserve(g.two_cycles.size());
+  for (std::uint32_t j = 0; j < g.two_cycles.size(); ++j) {
+    two_cycle_index.emplace(g.two_cycles[j].key(), j);
+  }
+
+  g.adj.resize(g.one_cycles.size());
+  for (std::uint32_t i = 0; i < g.one_cycles.size(); ++i) {
+    const CycleStructure& i1 = g.one_cycles[i];
+    const auto act = active(i1);
+    auto& nbrs = g.adj[i];
+    for (std::size_t a = 0; a < act.size(); ++a) {
+      for (std::size_t b = a + 1; b < act.size(); ++b) {
+        if (!i1.edges_independent(act[a], act[b])) continue;
+        const CycleStructure crossed = i1.crossed(act[a], act[b]);
+        BCCLB_CHECK(crossed.is_two_cycle(),
+                    "crossing two edges of a one-cycle must give a two-cycle");
+        const auto it = two_cycle_index.find(crossed.key());
+        BCCLB_CHECK(it != two_cycle_index.end(), "crossed structure missing from V2");
+        nbrs.push_back(it->second);
+      }
+    }
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return g;
+}
+
+NeighborDegreeProfile neighbor_degree_profile(const CycleStructure& one_cycle,
+                                              const ActiveEdgeFn& active) {
+  BCCLB_REQUIRE(one_cycle.is_one_cycle(), "profile is defined for one-cycle instances");
+  NeighborDegreeProfile profile;
+  const auto act = active(one_cycle);
+  profile.active_edges = act.size();
+  profile.split_counts.assign(one_cycle.num_vertices() + 1, 0);
+
+  // Count distinct crossed two-cycles by the number of active edges landing
+  // in their smaller-active-count cycle.
+  std::vector<std::string> seen;
+  for (std::size_t a = 0; a < act.size(); ++a) {
+    for (std::size_t b = a + 1; b < act.size(); ++b) {
+      if (!one_cycle.edges_independent(act[a], act[b])) continue;
+      const CycleStructure crossed = one_cycle.crossed(act[a], act[b]);
+      const std::string key = crossed.key();
+      if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+      seen.push_back(key);
+
+      // Active edges of the crossed instance: the surviving originals plus
+      // the two new edges (all active when everything is active; for
+      // restricted activity the proof of Lemma 3.7 notes the two new edges
+      // are active as well). Count how many fall in each cycle.
+      const auto crossed_active = active(crossed);
+      std::size_t in_first = 0;
+      const auto& first_cycle = crossed.cycles()[0];
+      for (const DirectedEdge& e : crossed_active) {
+        if (std::find(first_cycle.begin(), first_cycle.end(), e.tail) != first_cycle.end()) {
+          ++in_first;
+        }
+      }
+      const std::size_t other = crossed_active.size() - in_first;
+      ++profile.split_counts[std::min(in_first, other)];
+    }
+  }
+  return profile;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,55 @@
+// The bipartite indistinguishability graph G^t_{x,y} (Definition 3.6).
+//
+// Vertices: V1 = all one-cycle structures on [n], V2 = all two-cycle
+// structures. I1 ~ I2 iff I2 = I1(e1, e2) for two active independent
+// clockwise edges of I1. The activity notion is pluggable: at round 0 all n
+// edges are active (that graph drives Lemma 3.9), and after t rounds of a
+// concrete algorithm the active set is an edge-label class of the transcript
+// (Theorem 3.1). Exhaustive: sizes grow as (n-1)!/2, so n <= 10.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/cycle_structure.h"
+
+namespace bcclb {
+
+// Which directed edges of a structure are currently "active". Must treat
+// structurally equal inputs equally (it is called once per structure).
+using ActiveEdgeFn = std::function<std::vector<DirectedEdge>(const CycleStructure&)>;
+
+// Everything active — the round-0 graph of Lemma 3.9.
+ActiveEdgeFn all_edges_active();
+
+struct IndistinguishabilityGraph {
+  std::vector<CycleStructure> one_cycles;  // V1
+  std::vector<CycleStructure> two_cycles;  // V2
+  // adj[i] = sorted, deduplicated indices into two_cycles reachable from
+  // one_cycles[i] by crossing a pair of active independent edges.
+  std::vector<std::vector<std::uint32_t>> adj;
+
+  std::size_t num_edges() const;
+  std::vector<std::size_t> two_cycle_degrees() const;
+
+  // |V2| / |V1| — Lemma 3.9 predicts Θ(log n), i.e. ≈ H_{n/2} - 3/2.
+  double size_ratio() const;
+};
+
+IndistinguishabilityGraph build_indistinguishability_graph(std::size_t n,
+                                                           const ActiveEdgeFn& active);
+
+// Lemma 3.7 verification data for one instance: for each i, the number of
+// neighbors of I1 whose degree (in the all-active graph) equals i * (d - i),
+// where d is I1's active-edge count.
+struct NeighborDegreeProfile {
+  std::size_t active_edges = 0;                 // d
+  std::vector<std::size_t> split_counts;        // index i (3 <= i <= d/2): #neighbors
+                                                // whose smaller cycle has i active edges
+};
+
+NeighborDegreeProfile neighbor_degree_profile(const CycleStructure& one_cycle,
+                                              const ActiveEdgeFn& active);
+
+}  // namespace bcclb

@@ -1,0 +1,67 @@
+#include "crossing/instance_counts.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+BigUint count_one_cycle_structures(std::size_t n) {
+  BCCLB_REQUIRE(n >= 3, "need n >= 3");
+  // (n-1)!/2 — divide by 2 before multiplying everything: (n-1)!/2 =
+  // 3 * 4 * ... * (n-1) (drop the factor 2).
+  BigUint f(1);
+  for (std::size_t k = 3; k + 1 <= n; ++k) f *= static_cast<std::uint32_t>(k);
+  return f;
+}
+
+BigUint count_two_cycle_structures_with_smaller(std::size_t n, std::size_t i) {
+  BCCLB_REQUIRE(i >= 3 && i * 2 <= n && n - i >= 3, "invalid split");
+  // C(n, i) * (i-1)!/2 * (n-i-1)!/2, halved once more when i = n - i.
+  // Assemble without division: C(n, i)*(i-1)!*(n-i-1)! = n!/(i (n-i)).
+  // Equivalently: (n-1)! * [n / (i (n-i))] — still needs division. Instead
+  // build the product n! / (i * (n-i) * 4-or-8) by skipping factors:
+  //   n!/(i (n-i)) = product over k=1..n of k, omitting one factor i and one
+  //   factor (n-i).
+  BigUint p(1);
+  bool skipped_i = false, skipped_ni = false;
+  for (std::size_t k = 1; k <= n; ++k) {
+    if (!skipped_i && k == i) {
+      skipped_i = true;
+      continue;
+    }
+    if (!skipped_ni && k == n - i && i != n - i) {
+      skipped_ni = true;
+      continue;
+    }
+    p *= static_cast<std::uint32_t>(k);
+  }
+  if (i == n - i) {
+    // Only one factor i existed to skip; divide the second i out exactly
+    // (n! contains both i and 2i = n, so n!/i^2 is integral).
+    p = p.divided_by_small(static_cast<std::uint32_t>(i));
+    skipped_ni = true;
+  }
+  BCCLB_CHECK(skipped_i && skipped_ni, "factor skipping failed");
+  // p = n!/(i (n-i)); divide by 4 for the two cyclic-order halvings, and by
+  // another 2 when the two cycles have equal size (unordered pair).
+  const unsigned denom = (2 * i == n) ? 8 : 4;
+  return p.divided_by_small(denom);
+}
+
+BigUint count_two_cycle_structures(std::size_t n) {
+  BCCLB_REQUIRE(n >= 6, "need n >= 6");
+  BigUint total(0);
+  for (std::size_t i = 3; 2 * i <= n; ++i) {
+    total += count_two_cycle_structures_with_smaller(n, i);
+  }
+  return total;
+}
+
+double two_to_one_cycle_ratio(std::size_t n) {
+  const BigUint v1 = count_one_cycle_structures(n);
+  const BigUint v2 = count_two_cycle_structures(n);
+  return std::exp2(v2.log2() - v1.log2());
+}
+
+}  // namespace bcclb

@@ -1,0 +1,29 @@
+// Closed-form counts of the instance space, extending the Lemma 3.9 ratio
+// far beyond exhaustively enumerable sizes.
+//
+//   |V1| = (n-1)!/2                        (cyclic orders of [n])
+//   |T_i| = C(n, i) * (i-1)!/2 * (n-i-1)!/2   (two-cycle covers, smaller
+//            cycle of size i < n/2; halved once more when i = n/2)
+//   |V2| = Σ_{i=3}^{n/2} |T_i|
+//
+// Lemma 3.9 predicts |V2|/|V1| = Θ(log n); the exact ratio is
+// Σ_i n! /(2 i (n-i) (n-1)!) -ish — computed here both exactly (BigUint,
+// n ≤ ~150) and in log-domain (any n), so the harmonic convergence can be
+// charted to n = 10^3+ (bench E3).
+#pragma once
+
+#include <cstddef>
+
+#include "common/bigint.h"
+
+namespace bcclb {
+
+// Exact counts (BigUint; factorial growth, keep n ≤ a few hundred).
+BigUint count_one_cycle_structures(std::size_t n);
+BigUint count_two_cycle_structures(std::size_t n);
+BigUint count_two_cycle_structures_with_smaller(std::size_t n, std::size_t i);
+
+// |V2| / |V1| as a double (exact up to double rounding).
+double two_to_one_cycle_ratio(std::size_t n);
+
+}  // namespace bcclb

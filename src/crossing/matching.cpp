@@ -1,0 +1,108 @@
+#include "crossing/matching.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+HopcroftKarp::HopcroftKarp(std::vector<std::vector<std::uint32_t>> adj, std::size_t num_right)
+    : adj_(std::move(adj)),
+      num_right_(num_right),
+      match_l_(adj_.size(), kUnmatched),
+      match_r_(num_right, kUnmatched),
+      dist_(adj_.size(), 0) {
+  for (const auto& nbrs : adj_) {
+    for (std::uint32_t r : nbrs) {
+      BCCLB_REQUIRE(r < num_right_, "right index out of range");
+    }
+  }
+}
+
+bool HopcroftKarp::bfs() {
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  std::queue<std::uint32_t> q;
+  for (std::uint32_t l = 0; l < adj_.size(); ++l) {
+    if (match_l_[l] == kUnmatched) {
+      dist_[l] = 0;
+      q.push(l);
+    } else {
+      dist_[l] = kInf;
+    }
+  }
+  bool found_augmenting = false;
+  while (!q.empty()) {
+    const std::uint32_t l = q.front();
+    q.pop();
+    for (std::uint32_t r : adj_[l]) {
+      const std::uint32_t next = match_r_[r];
+      if (next == kUnmatched) {
+        found_augmenting = true;
+      } else if (dist_[next] == kInf) {
+        dist_[next] = dist_[l] + 1;
+        q.push(next);
+      }
+    }
+  }
+  return found_augmenting;
+}
+
+bool HopcroftKarp::dfs(std::uint32_t l) {
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  for (std::uint32_t r : adj_[l]) {
+    const std::uint32_t next = match_r_[r];
+    if (next == kUnmatched || (dist_[next] == dist_[l] + 1 && dfs(next))) {
+      match_l_[l] = r;
+      match_r_[r] = l;
+      return true;
+    }
+  }
+  dist_[l] = kInf;
+  return false;
+}
+
+std::size_t HopcroftKarp::max_matching() {
+  std::size_t matched = 0;
+  while (bfs()) {
+    for (std::uint32_t l = 0; l < adj_.size(); ++l) {
+      if (match_l_[l] == kUnmatched && dfs(l)) ++matched;
+    }
+  }
+  return matched;
+}
+
+std::size_t max_bipartite_matching(const std::vector<std::vector<std::uint32_t>>& adj,
+                                   std::size_t num_right) {
+  HopcroftKarp hk(adj, num_right);
+  return hk.max_matching();
+}
+
+bool has_saturating_k_matching(const std::vector<std::vector<std::uint32_t>>& adj,
+                               std::size_t num_right, unsigned k) {
+  BCCLB_REQUIRE(k >= 1, "k must be positive");
+  // Theorem 2.1's construction: clone each positive-degree left vertex k
+  // times; a perfect matching of the clones is a k-matching.
+  std::vector<std::vector<std::uint32_t>> cloned;
+  std::size_t positive = 0;
+  for (const auto& nbrs : adj) {
+    if (nbrs.empty()) continue;
+    ++positive;
+    for (unsigned c = 0; c < k; ++c) cloned.push_back(nbrs);
+  }
+  if (positive == 0) return true;
+  HopcroftKarp hk(std::move(cloned), num_right);
+  return hk.max_matching() == positive * k;
+}
+
+unsigned max_saturating_k(const std::vector<std::vector<std::uint32_t>>& adj,
+                          std::size_t num_right, unsigned k_limit) {
+  unsigned best = 0;
+  for (unsigned k = 1; k <= k_limit; ++k) {
+    if (!has_saturating_k_matching(adj, num_right, k)) break;
+    best = k;
+  }
+  return best;
+}
+
+}  // namespace bcclb

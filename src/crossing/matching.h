@@ -1,0 +1,57 @@
+// Maximum bipartite matchings and k-matchings (Theorem 2.1's objects).
+//
+// The Polygamous Hall's Theorem argument packs the indistinguishability
+// graph with stars: each one-cycle instance is matched to k distinct
+// two-cycle instances. We realize it constructively: a k-matching of size
+// |L| exists iff the k-fold left-cloned graph has a perfect matching on L,
+// which Hopcroft–Karp decides. A maximum 1-matching also directly yields
+// the distributional error bound: an algorithm answers identically on the
+// two endpoints of every matched indistinguishable pair, so it errs on the
+// lighter endpoint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bcclb {
+
+class HopcroftKarp {
+ public:
+  // adj[l] lists the right-neighbors of left vertex l (indices < num_right).
+  HopcroftKarp(std::vector<std::vector<std::uint32_t>> adj, std::size_t num_right);
+
+  // Size of a maximum matching.
+  std::size_t max_matching();
+
+  // match_left()[l] = matched right vertex or kUnmatched (valid after
+  // max_matching()).
+  static constexpr std::uint32_t kUnmatched = static_cast<std::uint32_t>(-1);
+  const std::vector<std::uint32_t>& match_left() const { return match_l_; }
+
+ private:
+  bool bfs();
+  bool dfs(std::uint32_t l);
+
+  std::vector<std::vector<std::uint32_t>> adj_;
+  std::size_t num_right_;
+  std::vector<std::uint32_t> match_l_, match_r_;
+  std::vector<std::uint32_t> dist_;
+};
+
+// Size of the maximum matching of the bipartite graph (adj, num_right).
+std::size_t max_bipartite_matching(const std::vector<std::vector<std::uint32_t>>& adj,
+                                   std::size_t num_right);
+
+// True iff a k-matching saturating every left vertex of positive degree
+// exists (left vertices with empty adjacency are skipped — an isolated
+// instance has no indistinguishable partner and is excluded from S in
+// Lemma 3.8's statement).
+bool has_saturating_k_matching(const std::vector<std::vector<std::uint32_t>>& adj,
+                               std::size_t num_right, unsigned k);
+
+// The largest k for which has_saturating_k_matching holds (0 when even k=1
+// fails).
+unsigned max_saturating_k(const std::vector<std::vector<std::uint32_t>>& adj,
+                          std::size_t num_right, unsigned k_limit);
+
+}  // namespace bcclb

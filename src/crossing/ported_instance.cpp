@@ -1,0 +1,17 @@
+#include "crossing/ported_instance.h"
+
+namespace bcclb {
+
+BccInstance canonical_kt0_instance(const CycleStructure& cs) {
+  return kt0_instance_with_wiring(cs, Wiring::kt1(cs.num_vertices()));
+}
+
+BccInstance random_kt0_instance(const CycleStructure& cs, Rng& rng) {
+  return kt0_instance_with_wiring(cs, Wiring::random_kt0(cs.num_vertices(), rng));
+}
+
+BccInstance kt0_instance_with_wiring(const CycleStructure& cs, Wiring wiring) {
+  return BccInstance(std::move(wiring), cs.to_graph(), KnowledgeMode::kKT0);
+}
+
+}  // namespace bcclb

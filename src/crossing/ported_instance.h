@@ -1,0 +1,27 @@
+// Constructing full KT-0 BCC instances (wiring + input graph) from cycle
+// structures.
+//
+// The KT-0 lower bound acts on instances — input graph plus port wiring.
+// The crossing operation rewires four network edges (Definition 3.3); these
+// helpers build the starting instances it operates on. canonical_kt0_instance
+// fixes the ID-order wiring (any fixed wiring works: the arguments are
+// invariant under the choice) but keeps KT-0 mode, so algorithms see only
+// anonymous ports.
+#pragma once
+
+#include "bcc/instance.h"
+#include "common/random.h"
+#include "graph/cycle_structure.h"
+
+namespace bcclb {
+
+// KT-0 instance with the canonical (ID-order) port layout.
+BccInstance canonical_kt0_instance(const CycleStructure& cs);
+
+// KT-0 instance with a uniformly random wiring.
+BccInstance random_kt0_instance(const CycleStructure& cs, Rng& rng);
+
+// KT-0 instance with an explicit wiring.
+BccInstance kt0_instance_with_wiring(const CycleStructure& cs, Wiring wiring);
+
+}  // namespace bcclb

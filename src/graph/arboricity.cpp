@@ -1,0 +1,37 @@
+#include "graph/arboricity.h"
+
+#include "common/check.h"
+#include "graph/union_find.h"
+
+namespace bcclb {
+
+std::size_t arboricity_lower_bound(const Graph& g) {
+  if (g.num_vertices() <= 1 || g.num_edges() == 0) return g.num_edges() > 0 ? 1 : 0;
+  const std::size_t denom = g.num_vertices() - 1;
+  return (g.num_edges() + denom - 1) / denom;
+}
+
+std::vector<std::vector<Edge>> greedy_forest_decomposition(const Graph& g) {
+  std::vector<Edge> remaining = g.edges();
+  std::vector<std::vector<Edge>> forests;
+  while (!remaining.empty()) {
+    UnionFind uf(g.num_vertices());
+    std::vector<Edge> forest;
+    std::vector<Edge> next;
+    for (const Edge& e : remaining) {
+      if (uf.unite(e.u, e.v)) {
+        forest.push_back(e);
+      } else {
+        next.push_back(e);
+      }
+    }
+    BCCLB_CHECK(!forest.empty(), "forest peeling stalled");
+    forests.push_back(std::move(forest));
+    remaining = std::move(next);
+  }
+  return forests;
+}
+
+std::size_t arboricity_upper_bound(const Graph& g) { return greedy_forest_decomposition(g).size(); }
+
+}  // namespace bcclb

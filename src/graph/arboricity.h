@@ -1,0 +1,28 @@
+// Arboricity bounds — the paper's tightness condition (Section 1.1: the
+// Ω(log n) lower bounds are tight "for graphs with arboricity bounded by a
+// constant", via [MT16]).
+//
+// Exact arboricity is the Nash–Williams maximum of ⌈m_H / (n_H - 1)⌉ over
+// subgraphs H; we provide the global density lower bound and a greedy
+// forest-decomposition upper bound (repeatedly peel a maximal spanning
+// forest), which is exact on the paper's hard inputs: cycles have arboricity
+// exactly 2, forests exactly 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace bcclb {
+
+// ⌈m / (n - 1)⌉ — the whole-graph Nash–Williams term (a lower bound).
+std::size_t arboricity_lower_bound(const Graph& g);
+
+// Greedy forest decomposition: the edge sets of the peeled forests. Their
+// count upper-bounds the arboricity.
+std::vector<std::vector<Edge>> greedy_forest_decomposition(const Graph& g);
+
+std::size_t arboricity_upper_bound(const Graph& g);
+
+}  // namespace bcclb

@@ -1,0 +1,244 @@
+#include "graph/cycle_structure.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+namespace {
+
+// Canonical cyclic orders of a vertex set: the smallest element is placed
+// first and the two traversal directions are deduplicated by requiring the
+// successor of the minimum to be smaller than its predecessor.
+std::vector<std::vector<VertexId>> cyclic_orders(std::vector<VertexId> sorted_set) {
+  BCCLB_CHECK(sorted_set.size() >= 3, "cycles need at least 3 vertices");
+  BCCLB_CHECK(std::is_sorted(sorted_set.begin(), sorted_set.end()), "set must be sorted");
+  std::vector<std::vector<VertexId>> out;
+  const VertexId anchor = sorted_set.front();
+  std::vector<VertexId> rest(sorted_set.begin() + 1, sorted_set.end());
+  std::sort(rest.begin(), rest.end());
+  do {
+    if (rest.front() > rest.back()) continue;  // reflection duplicate
+    std::vector<VertexId> cycle;
+    cycle.reserve(sorted_set.size());
+    cycle.push_back(anchor);
+    cycle.insert(cycle.end(), rest.begin(), rest.end());
+    out.push_back(std::move(cycle));
+  } while (std::next_permutation(rest.begin(), rest.end()));
+  return out;
+}
+
+}  // namespace
+
+CycleStructure CycleStructure::single_cycle(std::span<const VertexId> order) {
+  BCCLB_REQUIRE(order.size() >= 3, "a cycle needs at least 3 vertices");
+  std::vector<VertexId> check(order.begin(), order.end());
+  std::sort(check.begin(), check.end());
+  for (std::size_t i = 0; i < check.size(); ++i) {
+    BCCLB_REQUIRE(check[i] == i, "order must be a permutation of 0..n-1");
+  }
+  CycleStructure cs;
+  cs.n_ = order.size();
+  cs.cycles_.emplace_back(order.begin(), order.end());
+  cs.canonicalize();
+  return cs;
+}
+
+CycleStructure CycleStructure::from_graph(const Graph& g) {
+  BCCLB_REQUIRE(g.is_regular(2), "cycle covers require a 2-regular graph");
+  const std::size_t n = g.num_vertices();
+  CycleStructure cs;
+  cs.n_ = n;
+  std::vector<bool> used(n, false);
+  for (VertexId start = 0; start < n; ++start) {
+    if (used[start]) continue;
+    std::vector<VertexId> cycle;
+    VertexId prev = start;
+    VertexId cur = start;
+    do {
+      used[cur] = true;
+      cycle.push_back(cur);
+      const auto& nbrs = g.neighbors(cur);
+      const VertexId next = (nbrs[0] == prev && cycle.size() > 1) ? nbrs[1] : nbrs[0];
+      prev = cur;
+      cur = next;
+    } while (cur != start);
+    BCCLB_REQUIRE(cycle.size() >= 3, "degenerate cycle in 2-regular graph");
+    cs.cycles_.push_back(std::move(cycle));
+  }
+  cs.canonicalize();
+  return cs;
+}
+
+CycleStructure CycleStructure::from_cycles(std::size_t n,
+                                           std::vector<std::vector<VertexId>> cycles) {
+  std::vector<bool> seen(n, false);
+  std::size_t total = 0;
+  for (const auto& c : cycles) {
+    BCCLB_REQUIRE(c.size() >= 3, "a cycle needs at least 3 vertices");
+    for (VertexId v : c) {
+      BCCLB_REQUIRE(v < n, "vertex out of range");
+      BCCLB_REQUIRE(!seen[v], "cycles must be vertex-disjoint");
+      seen[v] = true;
+    }
+    total += c.size();
+  }
+  BCCLB_REQUIRE(total == n, "cycles must cover all vertices");
+  CycleStructure cs;
+  cs.n_ = n;
+  cs.cycles_ = std::move(cycles);
+  cs.canonicalize();
+  return cs;
+}
+
+void CycleStructure::canonicalize() {
+  for (auto& cycle : cycles_) {
+    const auto min_it = std::min_element(cycle.begin(), cycle.end());
+    std::rotate(cycle.begin(), min_it, cycle.end());
+    // The two neighbors of the minimum are cycle[1] and cycle.back(); pick
+    // the traversal direction that puts the smaller one second.
+    if (cycle[1] > cycle.back()) {
+      std::reverse(cycle.begin() + 1, cycle.end());
+    }
+  }
+  std::sort(cycles_.begin(), cycles_.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+}
+
+std::size_t CycleStructure::smallest_cycle_length() const {
+  std::size_t best = n_;
+  for (const auto& c : cycles_) best = std::min(best, c.size());
+  return best;
+}
+
+Graph CycleStructure::to_graph() const {
+  Graph g(n_);
+  for (const auto& cycle : cycles_) {
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      g.add_edge(cycle[i], cycle[(i + 1) % cycle.size()]);
+    }
+  }
+  return g;
+}
+
+std::vector<DirectedEdge> CycleStructure::directed_edges() const {
+  std::vector<DirectedEdge> out;
+  out.reserve(n_);
+  for (const auto& cycle : cycles_) {
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      out.push_back({cycle[i], cycle[(i + 1) % cycle.size()]});
+    }
+  }
+  return out;
+}
+
+bool CycleStructure::edges_independent(const DirectedEdge& e1, const DirectedEdge& e2) const {
+  const VertexId v1 = e1.tail, u1 = e1.head, v2 = e2.tail, u2 = e2.head;
+  if (v1 == v2 || v1 == u2 || u1 == v2 || u1 == u2) return false;
+  const Graph g = to_graph();
+  return !g.has_edge(v1, u2) && !g.has_edge(v2, u1);
+}
+
+CycleStructure CycleStructure::crossed(const DirectedEdge& e1, const DirectedEdge& e2) const {
+  const auto dirs = directed_edges();
+  const bool have1 = std::find(dirs.begin(), dirs.end(), e1) != dirs.end();
+  const bool have2 = std::find(dirs.begin(), dirs.end(), e2) != dirs.end();
+  BCCLB_REQUIRE(have1 && have2, "crossing requires clockwise-oriented input edges");
+  BCCLB_REQUIRE(edges_independent(e1, e2), "crossing requires independent edges");
+
+  Graph g(n_);
+  for (const auto& d : dirs) {
+    if (d == e1 || d == e2) continue;
+    g.add_edge(d.tail, d.head);
+  }
+  g.add_edge(e1.tail, e2.head);
+  g.add_edge(e2.tail, e1.head);
+  return from_graph(g);
+}
+
+std::string CycleStructure::key() const {
+  std::string k;
+  k.reserve(n_ + cycles_.size());
+  for (const auto& cycle : cycles_) {
+    for (VertexId v : cycle) k.push_back(static_cast<char>(v));
+    k.push_back(static_cast<char>(0xFF));
+  }
+  return k;
+}
+
+std::vector<CycleStructure> all_one_cycle_structures(std::size_t n) {
+  BCCLB_REQUIRE(n >= 3, "need n >= 3");
+  std::vector<VertexId> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<CycleStructure> out;
+  for (auto& cycle : cyclic_orders(all)) {
+    out.push_back(CycleStructure::from_cycles(n, {std::move(cycle)}));
+  }
+  return out;
+}
+
+std::vector<CycleStructure> all_two_cycle_structures(std::size_t n) {
+  return all_cycle_covers(n, 3, 2, 2);
+}
+
+namespace {
+
+void enumerate_covers(std::size_t n, std::size_t min_len, std::size_t min_cycles,
+                      std::size_t max_cycles, std::vector<VertexId>& remaining,
+                      std::vector<std::vector<VertexId>>& partial,
+                      std::vector<CycleStructure>& out) {
+  if (remaining.empty()) {
+    if (partial.size() >= min_cycles && partial.size() <= max_cycles) {
+      out.push_back(CycleStructure::from_cycles(n, partial));
+    }
+    return;
+  }
+  if (partial.size() >= max_cycles) return;
+  if (remaining.size() < min_len) return;
+
+  // The smallest remaining vertex anchors the next cycle; choose its cycle's
+  // other members from the rest via bitmask (remaining.size() - 1 <= ~20).
+  const VertexId anchor = remaining.front();
+  const std::vector<VertexId> rest(remaining.begin() + 1, remaining.end());
+  const std::size_t m = rest.size();
+  BCCLB_CHECK(m < 30, "cover enumeration only supports small n");
+  for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+    const auto chosen = static_cast<std::size_t>(std::popcount(mask));
+    if (chosen + 1 < min_len) continue;
+    if (m - chosen != 0 && m - chosen < min_len) continue;
+    std::vector<VertexId> members{anchor};
+    std::vector<VertexId> next_remaining;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (1u << i)) {
+        members.push_back(rest[i]);
+      } else {
+        next_remaining.push_back(rest[i]);
+      }
+    }
+    // `members` is sorted: anchor is the global minimum and `rest` is sorted.
+    for (auto& cyc : cyclic_orders(members)) {
+      partial.push_back(std::move(cyc));
+      enumerate_covers(n, min_len, min_cycles, max_cycles, next_remaining, partial, out);
+      partial.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CycleStructure> all_cycle_covers(std::size_t n, std::size_t min_len,
+                                             std::size_t min_cycles, std::size_t max_cycles) {
+  BCCLB_REQUIRE(n >= min_len, "n too small for a single cycle");
+  BCCLB_REQUIRE(min_len >= 3, "cycles need length >= 3");
+  std::vector<VertexId> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<std::vector<VertexId>> partial;
+  std::vector<CycleStructure> out;
+  enumerate_covers(n, min_len, min_cycles, max_cycles, all, partial, out);
+  return out;
+}
+
+}  // namespace bcclb

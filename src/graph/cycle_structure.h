@@ -1,0 +1,97 @@
+// Vertex-disjoint cycle covers of [n] — the instance space of the paper's
+// KT-0 lower bound.
+//
+// The TwoCycle problem (Section 3) promises the input graph is either one
+// cycle on all n vertices or two disjoint cycles, each of length >= 3; the
+// MultiCycle problem (Section 4) allows any number of cycles of length >= 4.
+// A CycleStructure is such a cover in canonical form, so covers can be
+// enumerated, hashed, and compared — the vertex sets V1 (one-cycle) and V2
+// (two-cycle) of the indistinguishability graph (Definition 3.6) are sets of
+// CycleStructures.
+//
+// Edges are oriented "clockwise" along each cycle's canonical traversal, as
+// in the proof of Theorem 3.1; crossing two clockwise edges of a single cycle
+// (Definition 3.3 at the input-graph level) always splits it into two cycles,
+// and crossing edges of two different cycles merges them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace bcclb {
+
+// An input-graph edge with the orientation used for crossing: tail -> head.
+struct DirectedEdge {
+  VertexId tail = 0;
+  VertexId head = 0;
+
+  friend bool operator==(const DirectedEdge&, const DirectedEdge&) = default;
+  friend auto operator<=>(const DirectedEdge&, const DirectedEdge&) = default;
+};
+
+class CycleStructure {
+ public:
+  // Builds the single cycle visiting `order` in sequence. order must be a
+  // permutation of 0..n-1 with n >= 3.
+  static CycleStructure single_cycle(std::span<const VertexId> order);
+
+  // Decomposes a 2-regular simple graph into its unique cycle cover.
+  static CycleStructure from_graph(const Graph& g);
+
+  // Builds from explicit cycles (each a vertex sequence); validates
+  // disjointness, coverage of 0..n-1 and minimum length 3.
+  static CycleStructure from_cycles(std::size_t n, std::vector<std::vector<VertexId>> cycles);
+
+  std::size_t num_vertices() const { return n_; }
+  std::size_t num_cycles() const { return cycles_.size(); }
+  bool is_one_cycle() const { return cycles_.size() == 1; }
+  bool is_two_cycle() const { return cycles_.size() == 2; }
+
+  // Length of the shortest cycle in the cover.
+  std::size_t smallest_cycle_length() const;
+
+  const std::vector<std::vector<VertexId>>& cycles() const { return cycles_; }
+
+  Graph to_graph() const;
+
+  // All n input edges, oriented clockwise along each cycle's canonical
+  // traversal (cycle[i] -> cycle[i+1], wrapping).
+  std::vector<DirectedEdge> directed_edges() const;
+
+  // Independence per Definition 3.2: four distinct endpoints and neither
+  // (e1.tail, e2.head) nor (e2.tail, e1.head) is an input edge.
+  bool edges_independent(const DirectedEdge& e1, const DirectedEdge& e2) const;
+
+  // The crossing I(e1, e2) at the input-graph level: replaces e1 = (v1, u1)
+  // and e2 = (v2, u2) with (v1, u2) and (v2, u1). Requires both edges to be
+  // input edges with the given orientation and to be independent.
+  CycleStructure crossed(const DirectedEdge& e1, const DirectedEdge& e2) const;
+
+  // Compact byte key usable in hash maps; equal keys iff equal structures.
+  std::string key() const;
+
+  friend bool operator==(const CycleStructure&, const CycleStructure&) = default;
+
+ private:
+  CycleStructure() = default;
+  void canonicalize();
+
+  std::size_t n_ = 0;
+  std::vector<std::vector<VertexId>> cycles_;
+};
+
+// Exhaustive enumeration of the instance space, used by the Lemma 3.7-3.9
+// and Theorem 3.1 experiments. Counts grow as (n-1)!/2, so these are meant
+// for n <= 10 or so.
+std::vector<CycleStructure> all_one_cycle_structures(std::size_t n);
+std::vector<CycleStructure> all_two_cycle_structures(std::size_t n);
+
+// All covers with >= min_cycles cycles, each of length >= min_len.
+std::vector<CycleStructure> all_cycle_covers(std::size_t n, std::size_t min_len,
+                                             std::size_t min_cycles, std::size_t max_cycles);
+
+}  // namespace bcclb

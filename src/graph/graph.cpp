@@ -1,0 +1,50 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+Graph::Graph(std::size_t n) : adj_(n) {}
+
+void Graph::add_edge(VertexId u, VertexId v) {
+  BCCLB_REQUIRE(u < adj_.size() && v < adj_.size(), "edge endpoint out of range");
+  BCCLB_REQUIRE(u != v, "self-loops are not allowed");
+  BCCLB_REQUIRE(!has_edge(u, v), "duplicate edge");
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  edges_.emplace_back(u, v);
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  BCCLB_REQUIRE(u < adj_.size() && v < adj_.size(), "edge endpoint out of range");
+  const auto& nbrs = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const VertexId target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::find(nbrs.begin(), nbrs.end(), target) != nbrs.end();
+}
+
+std::size_t Graph::degree(VertexId v) const {
+  BCCLB_REQUIRE(v < adj_.size(), "vertex out of range");
+  return adj_[v].size();
+}
+
+const std::vector<VertexId>& Graph::neighbors(VertexId v) const {
+  BCCLB_REQUIRE(v < adj_.size(), "vertex out of range");
+  return adj_[v];
+}
+
+bool Graph::is_regular(std::size_t d) const {
+  return std::all_of(adj_.begin(), adj_.end(),
+                     [d](const auto& nbrs) { return nbrs.size() == d; });
+}
+
+bool operator==(const Graph& a, const Graph& b) {
+  if (a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges()) return false;
+  std::vector<Edge> ea = a.edges_, eb = b.edges_;
+  std::sort(ea.begin(), ea.end());
+  std::sort(eb.begin(), eb.end());
+  return ea == eb;
+}
+
+}  // namespace bcclb

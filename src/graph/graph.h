@@ -1,0 +1,57 @@
+// Basic undirected graph on vertices 0..n-1.
+//
+// Input graphs in the BCC model are subsets of the clique's edges; this type
+// stores them as an adjacency structure plus an edge list, and is the common
+// currency between the generators, the connectivity algorithms, the 2-party
+// reductions (G(PA, PB)) and the crossing machinery.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace bcclb {
+
+using VertexId = std::uint32_t;
+
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  // Canonical order (min, max) so edges compare structurally.
+  Edge() = default;
+  Edge(VertexId a, VertexId b) : u(a < b ? a : b), v(a < b ? b : a) {}
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  explicit Graph(std::size_t n = 0);
+
+  std::size_t num_vertices() const { return adj_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  // Adds the undirected edge {u, v}. Rejects self-loops and duplicates.
+  void add_edge(VertexId u, VertexId v);
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  std::size_t degree(VertexId v) const;
+
+  const std::vector<VertexId>& neighbors(VertexId v) const;
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // True when every vertex has degree exactly d.
+  bool is_regular(std::size_t d) const;
+
+  friend bool operator==(const Graph& a, const Graph& b);
+
+ private:
+  std::vector<std::vector<VertexId>> adj_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace bcclb

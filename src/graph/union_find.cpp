@@ -1,0 +1,48 @@
+#include "graph/union_find.h"
+
+#include <cstdint>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+UnionFind::UnionFind(std::size_t n) : parent_(n), rank_(n, 0), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  BCCLB_REQUIRE(x < parent_.size(), "element out of range");
+  std::size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    std::size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a), rb = find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return true;
+}
+
+std::vector<std::size_t> UnionFind::canonical_labels() {
+  std::vector<std::size_t> label(parent_.size());
+  // First pass records the minimum element per root; second pass assigns it.
+  std::vector<std::size_t> min_of_root(parent_.size(), parent_.size());
+  for (std::size_t v = 0; v < parent_.size(); ++v) {
+    std::size_t r = find(v);
+    if (v < min_of_root[r]) min_of_root[r] = v;
+  }
+  for (std::size_t v = 0; v < parent_.size(); ++v) label[v] = min_of_root[find(v)];
+  return label;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,39 @@
+// Disjoint-set union with union-by-rank and path compression.
+//
+// Used as the reference connected-components oracle, inside Boruvka phases of
+// the BCC upper-bound algorithms, and to realize the join of two set
+// partitions (Theorem 4.3 identifies components of G(PA, PB) with PA ∨ PB).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bcclb {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  std::size_t find(std::size_t x);
+
+  // Returns true when the union actually merged two distinct sets.
+  bool unite(std::size_t a, std::size_t b);
+
+  bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+  std::size_t num_sets() const { return num_sets_; }
+
+  std::size_t size() const { return parent_.size(); }
+
+  // Canonical labels: label[v] is the smallest element in v's set. The result
+  // is a partition fingerprint comparable across different merge orders.
+  std::vector<std::size_t> canonical_labels();
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::size_t num_sets_;
+};
+
+}  // namespace bcclb

@@ -1,0 +1,80 @@
+#include "graph/weighted.h"
+
+#include <algorithm>
+#include <tuple>
+#include <set>
+
+#include "common/check.h"
+#include "graph/union_find.h"
+
+namespace bcclb {
+
+WeightedGraph::WeightedGraph(std::size_t n) : skeleton_(n), weight_by_adj_(n) {}
+
+void WeightedGraph::add_edge(VertexId u, VertexId v, std::uint32_t w) {
+  skeleton_.add_edge(u, v);  // validates range / duplicates / self-loops
+  weight_by_adj_[u].push_back(w);
+  weight_by_adj_[v].push_back(w);
+  edges_.emplace_back(u, v, w);
+}
+
+std::uint32_t WeightedGraph::weight(VertexId u, VertexId v) const {
+  const auto& nbrs = skeleton_.neighbors(u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == v) return weight_by_adj_[u][i];
+  }
+  BCCLB_REQUIRE(false, "no such edge");
+  return 0;
+}
+
+std::vector<WeightedEdge> WeightedGraph::incident(VertexId v) const {
+  std::vector<WeightedEdge> out;
+  const auto& nbrs = skeleton_.neighbors(v);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    out.emplace_back(v, nbrs[i], weight_by_adj_[v][i]);
+  }
+  return out;
+}
+
+std::vector<WeightedEdge> kruskal_msf(const WeightedGraph& g) {
+  std::vector<WeightedEdge> sorted = g.edges();
+  std::sort(sorted.begin(), sorted.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+    return std::tie(a.w, a.u, a.v) < std::tie(b.w, b.u, b.v);
+  });
+  UnionFind uf(g.num_vertices());
+  std::vector<WeightedEdge> tree;
+  for (const WeightedEdge& e : sorted) {
+    if (uf.unite(e.u, e.v)) tree.push_back(e);
+  }
+  std::sort(tree.begin(), tree.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+    return std::tie(a.w, a.u, a.v) < std::tie(b.w, b.u, b.v);
+  });
+  return tree;
+}
+
+std::uint64_t total_weight(const std::vector<WeightedEdge>& edges) {
+  std::uint64_t sum = 0;
+  for (const WeightedEdge& e : edges) sum += e.w;
+  return sum;
+}
+
+WeightedGraph random_weighted_gnp(std::size_t n, double p, std::uint32_t max_w,
+                                  bool unique_weights, Rng& rng) {
+  BCCLB_REQUIRE(max_w >= 1, "need positive weights");
+  WeightedGraph g(n);
+  std::set<std::uint32_t> used;
+  std::uint32_t overflow = max_w;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (!rng.next_bernoulli(p)) continue;
+      std::uint32_t w = 1 + static_cast<std::uint32_t>(rng.next_below(max_w));
+      if (unique_weights) {
+        while (!used.insert(w).second) w = ++overflow;
+      }
+      g.add_edge(u, v, w);
+    }
+  }
+  return g;
+}
+
+}  // namespace bcclb

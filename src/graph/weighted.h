@@ -1,0 +1,66 @@
+// Edge-weighted graphs and a Kruskal reference, for the MST side of the
+// story: the paper's introduction contrasts Connectivity/MST upper bounds
+// in CC(log n) with the BCC regime, and [PP17]'s Ω(log n) MST-verification
+// bound is the closest prior result to its Connectivity bounds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace bcclb {
+
+struct WeightedEdge {
+  VertexId u = 0;
+  VertexId v = 0;
+  std::uint32_t w = 0;
+
+  WeightedEdge() = default;
+  WeightedEdge(VertexId a, VertexId b, std::uint32_t weight)
+      : u(a < b ? a : b), v(a < b ? b : a), w(weight) {}
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+  friend auto operator<=>(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+class WeightedGraph {
+ public:
+  explicit WeightedGraph(std::size_t n = 0);
+
+  std::size_t num_vertices() const { return skeleton_.num_vertices(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  void add_edge(VertexId u, VertexId v, std::uint32_t w);
+
+  bool has_edge(VertexId u, VertexId v) const { return skeleton_.has_edge(u, v); }
+  std::uint32_t weight(VertexId u, VertexId v) const;
+
+  const std::vector<VertexId>& neighbors(VertexId v) const { return skeleton_.neighbors(v); }
+  const std::vector<WeightedEdge>& edges() const { return edges_; }
+  const Graph& skeleton() const { return skeleton_; }
+
+  // Edges incident to v, each oriented away from v.
+  std::vector<WeightedEdge> incident(VertexId v) const;
+
+ private:
+  Graph skeleton_;
+  std::vector<WeightedEdge> edges_;
+  std::vector<std::vector<std::uint32_t>> weight_by_adj_;  // parallel to adjacency
+};
+
+// Minimum spanning forest by Kruskal with the (w, u, v) tie-break used by
+// the broadcast Boruvka — the reference the distributed runs are checked
+// against. Sorted by (w, u, v).
+std::vector<WeightedEdge> kruskal_msf(const WeightedGraph& g);
+
+std::uint64_t total_weight(const std::vector<WeightedEdge>& edges);
+
+// G(n, p) with weights uniform in [1, max_w]. unique_weights redraws
+// collisions so the MSF is unique (weights stay <= max_w + #edges).
+WeightedGraph random_weighted_gnp(std::size_t n, double p, std::uint32_t max_w, bool unique_weights,
+                                  Rng& rng);
+
+}  // namespace bcclb

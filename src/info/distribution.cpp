@@ -1,0 +1,29 @@
+#include "info/distribution.h"
+
+namespace bcclb {
+
+void Distribution::add(const std::string& outcome, double mass) {
+  BCCLB_REQUIRE(mass >= 0.0, "mass must be nonnegative");
+  mass_[outcome] += mass;
+  total_ += mass;
+}
+
+void JointDistribution::add(const std::string& x, const std::string& y, double mass) {
+  BCCLB_REQUIRE(mass >= 0.0, "mass must be nonnegative");
+  mass_[{x, y}] += mass;
+  total_ += mass;
+}
+
+Distribution JointDistribution::marginal_x() const {
+  Distribution d;
+  for (const auto& [xy, m] : mass_) d.add(xy.first, m);
+  return d;
+}
+
+Distribution JointDistribution::marginal_y() const {
+  Distribution d;
+  for (const auto& [xy, m] : mass_) d.add(xy.second, m);
+  return d;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,53 @@
+// Finite probability distributions and empirical joint distributions.
+//
+// The Theorem 4.5 experiment measures I(PA; Π(PA, PB)) for concrete
+// protocols: outcomes are indexed by arbitrary keys (partition indices,
+// transcript strings) and the joint distribution is accumulated exactly from
+// an enumerated input space or from samples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+// A probability distribution over outcomes identified by string keys.
+class Distribution {
+ public:
+  // Adds probability mass to an outcome (masses need not be normalized;
+  // entropy functions normalize internally).
+  void add(const std::string& outcome, double mass);
+
+  double total_mass() const { return total_; }
+  std::size_t support_size() const { return mass_.size(); }
+
+  const std::map<std::string, double>& masses() const { return mass_; }
+
+ private:
+  std::map<std::string, double> mass_;
+  double total_ = 0.0;
+};
+
+// A joint distribution over pairs (x, y), supporting the marginals and
+// conditionals that entropy computations need.
+class JointDistribution {
+ public:
+  void add(const std::string& x, const std::string& y, double mass);
+
+  double total_mass() const { return total_; }
+
+  Distribution marginal_x() const;
+  Distribution marginal_y() const;
+
+  const std::map<std::pair<std::string, std::string>, double>& masses() const { return mass_; }
+
+ private:
+  std::map<std::pair<std::string, std::string>, double> mass_;
+  double total_ = 0.0;
+};
+
+}  // namespace bcclb

@@ -1,0 +1,71 @@
+#include "linalg/gf2_matrix.h"
+
+#include "common/check.h"
+
+namespace bcclb {
+
+Gf2Matrix::Gf2Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), words_per_row_((cols + 63) / 64), bits_(rows * words_per_row_, 0) {}
+
+Gf2Matrix Gf2Matrix::from_bool_matrix(const BoolMatrix& m) {
+  Gf2Matrix out(m.rows, m.cols);
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    for (std::size_t c = 0; c < m.cols; ++c) {
+      if (m.at(r, c)) out.set(r, c, true);
+    }
+  }
+  return out;
+}
+
+bool Gf2Matrix::get(std::size_t r, std::size_t c) const {
+  BCCLB_REQUIRE(r < rows_ && c < cols_, "index out of range");
+  return (bits_[r * words_per_row_ + c / 64] >> (c % 64)) & 1;
+}
+
+void Gf2Matrix::set(std::size_t r, std::size_t c, bool v) {
+  BCCLB_REQUIRE(r < rows_ && c < cols_, "index out of range");
+  std::uint64_t& w = bits_[r * words_per_row_ + c / 64];
+  const std::uint64_t mask = 1ULL << (c % 64);
+  if (v) {
+    w |= mask;
+  } else {
+    w &= ~mask;
+  }
+}
+
+std::size_t Gf2Matrix::rank() const {
+  std::vector<std::uint64_t> work(bits_);
+  const std::size_t wpr = words_per_row_;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    const std::size_t word = col / 64;
+    const std::uint64_t mask = 1ULL << (col % 64);
+    // Find a pivot row at or below `rank` with a 1 in this column.
+    std::size_t pivot = rows_;
+    for (std::size_t r = rank; r < rows_; ++r) {
+      if (work[r * wpr + word] & mask) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot == rows_) continue;
+    if (pivot != rank) {
+      for (std::size_t w = 0; w < wpr; ++w) {
+        std::swap(work[pivot * wpr + w], work[rank * wpr + w]);
+      }
+    }
+    // Eliminate this column from every other row below the pivot. (Rows
+    // above can keep the bit; row echelon is enough for rank.)
+    for (std::size_t r = rank + 1; r < rows_; ++r) {
+      if (work[r * wpr + word] & mask) {
+        for (std::size_t w = word; w < wpr; ++w) {
+          work[r * wpr + w] ^= work[rank * wpr + w];
+        }
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace bcclb

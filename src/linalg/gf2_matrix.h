@@ -1,0 +1,40 @@
+// Dense matrices over GF(2) with bitset rows and Gaussian-elimination rank.
+//
+// Full rank of an integer 0/1 matrix over GF(2) certifies full rank over the
+// rationals (an odd determinant is nonzero), which is how the E5 experiment
+// verifies Theorem 2.3 / Lemma 4.1 without exact rational arithmetic. Rank
+// over GF(2) can in general be smaller than rational rank, so the mod-p
+// fallback (modp_matrix.h) covers matrices where GF(2) loses rank.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/join_matrix.h"
+
+namespace bcclb {
+
+class Gf2Matrix {
+ public:
+  Gf2Matrix(std::size_t rows, std::size_t cols);
+
+  static Gf2Matrix from_bool_matrix(const BoolMatrix& m);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  bool get(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, bool v);
+
+  // Rank via Gaussian elimination on 64-bit words. Destructive internally
+  // but operates on a copy, so the matrix is unchanged.
+  std::size_t rank() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t words_per_row_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace bcclb

@@ -1,0 +1,89 @@
+#include "linalg/modp_matrix.h"
+
+#include "common/check.h"
+
+namespace bcclb {
+
+namespace {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t p) {
+  return static_cast<std::uint64_t>((static_cast<unsigned __int128>(a) * b) % p);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t p) {
+  std::uint64_t result = 1 % p;
+  base %= p;
+  while (exp) {
+    if (exp & 1) result = mulmod(result, base, p);
+    base = mulmod(base, base, p);
+    exp >>= 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t modp_inverse(std::uint64_t x, std::uint64_t p) {
+  BCCLB_REQUIRE(x % p != 0, "zero has no inverse");
+  return powmod(x, p - 2, p);
+}
+
+ModpMatrix::ModpMatrix(std::size_t rows, std::size_t cols, std::uint64_t p)
+    : rows_(rows), cols_(cols), p_(p), a_(rows * cols, 0) {
+  BCCLB_REQUIRE(p >= 2, "modulus must be at least 2");
+}
+
+ModpMatrix ModpMatrix::from_bool_matrix(const BoolMatrix& m, std::uint64_t p) {
+  ModpMatrix out(m.rows, m.cols, p);
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    for (std::size_t c = 0; c < m.cols; ++c) {
+      out.a_[r * m.cols + c] = m.at(r, c) % p;
+    }
+  }
+  return out;
+}
+
+std::uint64_t ModpMatrix::get(std::size_t r, std::size_t c) const {
+  BCCLB_REQUIRE(r < rows_ && c < cols_, "index out of range");
+  return a_[r * cols_ + c];
+}
+
+void ModpMatrix::set(std::size_t r, std::size_t c, std::uint64_t v) {
+  BCCLB_REQUIRE(r < rows_ && c < cols_, "index out of range");
+  a_[r * cols_ + c] = v % p_;
+}
+
+std::size_t ModpMatrix::rank() const {
+  std::vector<std::uint64_t> work(a_);
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    std::size_t pivot = rows_;
+    for (std::size_t r = rank; r < rows_; ++r) {
+      if (work[r * cols_ + col] != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot == rows_) continue;
+    if (pivot != rank) {
+      for (std::size_t c = col; c < cols_; ++c) {
+        std::swap(work[pivot * cols_ + c], work[rank * cols_ + c]);
+      }
+    }
+    const std::uint64_t inv = modp_inverse(work[rank * cols_ + col], p_);
+    for (std::size_t r = rank + 1; r < rows_; ++r) {
+      const std::uint64_t factor = work[r * cols_ + col];
+      if (factor == 0) continue;
+      const std::uint64_t scale = mulmod(factor, inv, p_);
+      for (std::size_t c = col; c < cols_; ++c) {
+        const std::uint64_t sub = mulmod(scale, work[rank * cols_ + c], p_);
+        std::uint64_t& cell = work[r * cols_ + c];
+        cell = (cell + p_ - sub) % p_;
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace bcclb

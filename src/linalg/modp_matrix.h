@@ -1,0 +1,44 @@
+// Dense matrices over GF(p) for a ~30-bit prime, with Gaussian-elimination
+// rank. rank_mod_p(M) <= rank_Q(M) always; equality holds unless p divides
+// one of the determinantal divisors, so agreement across a few random primes
+// certifies the rational rank for the E5 experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/join_matrix.h"
+
+namespace bcclb {
+
+// 2^30 - 35 is prime; a second prime is provided for cross-checking.
+inline constexpr std::uint64_t kPrime30A = 1073741789ULL;
+inline constexpr std::uint64_t kPrime30B = 1073741783ULL;
+
+class ModpMatrix {
+ public:
+  ModpMatrix(std::size_t rows, std::size_t cols, std::uint64_t p);
+
+  static ModpMatrix from_bool_matrix(const BoolMatrix& m, std::uint64_t p);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::uint64_t prime() const { return p_; }
+
+  std::uint64_t get(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, std::uint64_t v);
+
+  // Rank via fraction-free Gaussian elimination modulo p (on a copy).
+  std::size_t rank() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::uint64_t p_;
+  std::vector<std::uint64_t> a_;
+};
+
+// Modular inverse via Fermat (p prime).
+std::uint64_t modp_inverse(std::uint64_t x, std::uint64_t p);
+
+}  // namespace bcclb

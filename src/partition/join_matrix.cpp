@@ -1,0 +1,39 @@
+#include "partition/join_matrix.h"
+
+#include "common/check.h"
+#include "partition/enumeration.h"
+#include "partition/pair_partition.h"
+
+namespace bcclb {
+
+namespace {
+
+BoolMatrix join_matrix_over(const std::vector<SetPartition>& parts) {
+  BoolMatrix m;
+  m.rows = m.cols = parts.size();
+  m.data.assign(m.rows * m.cols, 0);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    // The join is symmetric; fill both triangles from one computation.
+    for (std::size_t j = i; j < parts.size(); ++j) {
+      const std::uint8_t bit = parts[i].join(parts[j]).is_coarsest() ? 1 : 0;
+      m.at(i, j) = bit;
+      m.at(j, i) = bit;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+BoolMatrix partition_join_matrix(std::size_t n) {
+  BCCLB_REQUIRE(n >= 1 && n <= 8, "M_n supported for n <= 8 (B_8 = 4140)");
+  return join_matrix_over(all_partitions(n));
+}
+
+BoolMatrix two_partition_join_matrix(std::size_t n) {
+  BCCLB_REQUIRE(n >= 2 && n % 2 == 0 && n <= 12,
+                "E_n supported for even n <= 12 ((11)!! = 10395)");
+  return join_matrix_over(all_perfect_matchings(n));
+}
+
+}  // namespace bcclb

@@ -1,0 +1,78 @@
+#include "partition/moebius.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "partition/enumeration.h"
+
+namespace bcclb {
+
+std::vector<std::int64_t> moebius_from_finest(std::size_t n) {
+  BCCLB_REQUIRE(n >= 1 && n <= 7, "exhaustive Moebius supports n <= 7");
+  const auto parts = all_partitions(n);
+  const SetPartition finest = SetPartition::finest(n);
+
+  // Order the interval [0̂, π]: ρ <= π iff ρ refines π. Möbius recursion:
+  // µ(0̂, 0̂) = 1 and Σ_{ρ <= π} µ(0̂, ρ) = 0 for π > 0̂. Process partitions
+  // in nonincreasing block count (every proper refinement has more blocks).
+  std::vector<std::size_t> order(parts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return parts[a].num_blocks() > parts[b].num_blocks();
+  });
+
+  std::vector<std::int64_t> mu(parts.size(), 0);
+  for (std::size_t idx : order) {
+    const SetPartition& pi = parts[idx];
+    if (pi == finest) {
+      mu[idx] = 1;
+      continue;
+    }
+    std::int64_t sum = 0;
+    for (std::size_t j = 0; j < parts.size(); ++j) {
+      if (j != idx && parts[j].refines(pi)) sum += mu[j];
+    }
+    mu[idx] = -sum;
+  }
+  return mu;
+}
+
+std::int64_t moebius_bottom_top(std::size_t n) {
+  const auto parts = all_partitions(n);
+  const auto mu = moebius_from_finest(n);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].is_coarsest()) return mu[i];
+  }
+  BCCLB_CHECK(false, "coarsest partition missing");
+  return 0;
+}
+
+std::map<std::size_t, std::int64_t> characteristic_polynomial(std::size_t n) {
+  const auto parts = all_partitions(n);
+  const auto mu = moebius_from_finest(n);
+  std::map<std::size_t, std::int64_t> coeffs;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    coeffs[parts[i].num_blocks()] += mu[i];
+  }
+  return coeffs;
+}
+
+std::map<std::size_t, std::int64_t> falling_factorial_coefficients(std::size_t n) {
+  // Multiply out x (x-1) ... (x-n+1).
+  std::vector<std::int64_t> poly{1};  // coefficients, poly[k] = coeff of x^k
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<std::int64_t> next(poly.size() + 1, 0);
+    for (std::size_t k = 0; k < poly.size(); ++k) {
+      next[k + 1] += poly[k];                                  // * x
+      next[k] -= static_cast<std::int64_t>(j) * poly[k];       // * (-j)
+    }
+    poly = std::move(next);
+  }
+  std::map<std::size_t, std::int64_t> coeffs;
+  for (std::size_t k = 0; k < poly.size(); ++k) {
+    if (poly[k] != 0) coeffs[k] = poly[k];
+  }
+  return coeffs;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,117 @@
+#include "pls/connectivity_pls.h"
+
+#include <optional>
+#include <queue>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace bcclb {
+
+namespace {
+
+struct Decoded {
+  std::uint64_t root = 0;
+  std::uint64_t dist = 0;
+};
+
+unsigned field_width(std::size_t n) { return std::max(1u, ceil_log2(n)); }
+
+std::optional<Decoded> decode(const Label& label, std::size_t n) {
+  const unsigned w = field_width(n);
+  if (label.size() != 2 * static_cast<std::size_t>(w)) return std::nullopt;
+  Decoded d;
+  for (unsigned i = 0; i < w; ++i) {
+    if (label[i]) d.root |= (1ULL << i);
+    if (label[w + i]) d.dist |= (1ULL << i);
+  }
+  return d;
+}
+
+Label encode(std::uint64_t root, std::uint64_t dist, std::size_t n) {
+  const unsigned w = field_width(n);
+  Label label(2 * static_cast<std::size_t>(w));
+  for (unsigned i = 0; i < w; ++i) {
+    label[i] = (root >> i) & 1;
+    label[w + i] = (dist >> i) & 1;
+  }
+  return label;
+}
+
+}  // namespace
+
+std::vector<Label> ConnectivityPls::prove(const BccInstance& instance) const {
+  const std::size_t n = instance.num_vertices();
+  // BFS per component from its minimum-ID vertex (on connected inputs this
+  // is the single honest labeling).
+  constexpr std::uint64_t kUnset = static_cast<std::uint64_t>(-1);
+  std::vector<std::uint64_t> root(n, kUnset), dist(n, 0);
+  for (VertexId s = 0; s < n; ++s) {
+    if (root[s] != kUnset) continue;
+    root[s] = instance.id_of(s);
+    dist[s] = 0;
+    std::queue<VertexId> q;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      for (VertexId u : instance.input().neighbors(v)) {
+        if (root[u] == kUnset) {
+          root[u] = root[s];
+          dist[u] = dist[v] + 1;
+          q.push(u);
+        }
+      }
+    }
+  }
+  std::vector<Label> labels;
+  labels.reserve(n);
+  for (VertexId v = 0; v < n; ++v) labels.push_back(encode(root[v], dist[v], n));
+  return labels;
+}
+
+bool ConnectivityPls::verify(const LocalView& view, const Label& own,
+                             const std::vector<Label>& by_port) const {
+  const std::size_t n = view.n;
+  const auto mine = decode(own, n);
+  if (!mine) return false;
+
+  std::vector<Decoded> peers;
+  peers.reserve(by_port.size());
+  for (const Label& l : by_port) {
+    const auto d = decode(l, n);
+    if (!d) return false;
+    peers.push_back(*d);
+  }
+
+  // (1) One global root.
+  for (const Decoded& d : peers) {
+    if (d.root != mine->root) return false;
+  }
+  // (2) Exactly one distance-0 vertex in the whole network.
+  std::size_t zeros = mine->dist == 0 ? 1 : 0;
+  for (const Decoded& d : peers) {
+    if (d.dist == 0) ++zeros;
+  }
+  if (zeros != 1) return false;
+  // (3) The distance-0 vertex must be the root itself (checked by that
+  //     vertex against its own ID — the only ID a KT-0 vertex knows).
+  if (mine->dist == 0 && mine->root != view.id) return false;
+  // (4) Distances must be grounded: a positive distance needs an input-graph
+  //     neighbor exactly one step closer.
+  if (mine->dist > 0) {
+    if (mine->dist >= n) return false;
+    bool grounded = false;
+    for (Port p : view.input_ports) {
+      if (peers[p].dist + 1 == mine->dist) grounded = true;
+    }
+    if (!grounded) return false;
+  }
+  return true;
+}
+
+std::size_t ConnectivityPls::label_bits(std::size_t n) const {
+  return 2 * static_cast<std::size_t>(field_width(n));
+}
+
+}  // namespace bcclb

@@ -1,0 +1,31 @@
+// The classical O(log n) proof-labeling scheme for Connectivity: labels are
+// (root, distance) pairs of a BFS forest.
+//
+// Completeness: on a connected graph, BFS from the minimum-ID vertex labels
+// every vertex with (root, dist) and all verifiers accept. Soundness: on a
+// disconnected graph EVERY labeling is rejected — all broadcast roots must
+// agree, exactly one vertex may claim distance 0, and a positive-distance
+// vertex needs an input-graph neighbor one step closer; a component not
+// containing the unique distance-0 vertex has no way to ground its distance
+// chain. Verification complexity 2⌈log2 n⌉ — the O(log n) that [PP17]-style
+// lower bounds show is optimal.
+#pragma once
+
+#include "pls/scheme.h"
+
+namespace bcclb {
+
+class ConnectivityPls final : public ProofLabelingScheme {
+ public:
+  // prove() is total: on disconnected inputs it emits the per-component
+  // honest labels (the strongest natural cheat), which verification must
+  // still reject.
+  std::vector<Label> prove(const BccInstance& instance) const override;
+
+  bool verify(const LocalView& view, const Label& own,
+              const std::vector<Label>& by_port) const override;
+
+  std::size_t label_bits(std::size_t n) const override;
+};
+
+}  // namespace bcclb

@@ -1,0 +1,62 @@
+// Randomized proof-labeling for Connectivity — the [BFP15] phenomenon from
+// the paper's Section 1.3, realized in the broadcast setting.
+//
+// The deterministic scheme broadcasts full 2⌈log₂ n⌉-bit (root, dist)
+// labels. Here the prover hands every vertex its own (root, dist) pair PLUS
+// a copy of each input-graph neighbor's pair, and each vertex broadcasts
+// only a digest:
+//     [ c-bit public-coin hash of its root | c-bit hash of its full pair |
+//       1 "I claim distance 0" bit ]  =  2c + 1 bits.
+// Verification: (1) all root-hashes agree, (2) exactly one distance-0 claim,
+// (3) the distance-0 vertex's root is its own ID, (4) every neighbor-copy
+// hash-matches its owner's digest, (5) distances are grounded through the
+// copies. One-sided error: a cheating prover survives only through a hash
+// collision, probability O(n · 2^-c).
+//
+// The paper's contrast made executable: randomized VERIFICATION costs
+// O(log 1/δ) broadcast bits — constant, beating the deterministic Θ(log n) —
+// while randomized COMPUTATION of the same predicate still needs Ω(log n)
+// rounds (Theorem 3.1). [BFP15] prove the analogous exponential drop for
+// MST verification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bcc/instance.h"
+#include "common/random.h"
+
+namespace bcclb {
+
+struct RootDist {
+  std::uint64_t root = 0;
+  std::uint64_t dist = 0;
+
+  friend bool operator==(const RootDist&, const RootDist&) = default;
+};
+
+// The prover's assignment at one vertex: its own pair and one claimed copy
+// per input port (in input_ports order).
+struct RandomizedLabel {
+  RootDist own;
+  std::vector<RootDist> copies;
+};
+
+// Honest prover: BFS pairs per component plus faithful neighbor copies
+// (defined on all inputs; on disconnected graphs verification must and does
+// reject).
+std::vector<RandomizedLabel> prove_randomized_connectivity(const BccInstance& instance);
+
+struct RandomizedPlsResult {
+  bool accepted = false;
+  std::vector<bool> votes;
+  std::size_t broadcast_bits = 0;  // per vertex: 2c + 1 — the verification
+                                   // complexity of the randomized scheme
+};
+
+// One verification round with c-bit hashes drawn from the shared coins.
+RandomizedPlsResult run_randomized_pls(const BccInstance& instance,
+                                       const std::vector<RandomizedLabel>& labels,
+                                       unsigned hash_bits, const PublicCoins& coins);
+
+}  // namespace bcclb

@@ -1,0 +1,79 @@
+#include "pls/scheme.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+namespace {
+
+LocalView make_view(const BccInstance& instance, VertexId v) {
+  LocalView view;
+  view.n = instance.num_vertices();
+  view.bandwidth = 1;
+  view.mode = instance.mode();
+  view.id = instance.id_of(v);
+  view.input_ports = instance.input_ports(v);
+  if (instance.mode() == KnowledgeMode::kKT1) {
+    for (VertexId u = 0; u < instance.num_vertices(); ++u) {
+      view.all_ids.push_back(instance.id_of(u));
+    }
+    std::sort(view.all_ids.begin(), view.all_ids.end());
+    for (Port p = 0; p + 1 < instance.num_vertices(); ++p) {
+      view.port_peer_ids.push_back(instance.id_of(instance.wiring().peer(v, p)));
+    }
+  }
+  return view;
+}
+
+}  // namespace
+
+PlsResult run_pls(const ProofLabelingScheme& scheme, const BccInstance& instance,
+                  const std::vector<Label>& labels) {
+  const std::size_t n = instance.num_vertices();
+  BCCLB_REQUIRE(labels.size() == n, "need one label per vertex");
+  PlsResult result;
+  result.accepted = true;
+  for (const Label& l : labels) {
+    result.max_label_bits = std::max(result.max_label_bits, l.size());
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    std::vector<Label> by_port(n - 1);
+    for (Port p = 0; p + 1 < n; ++p) {
+      by_port[p] = labels[instance.wiring().peer(v, p)];
+    }
+    const bool vote = scheme.verify(make_view(instance, v), labels[v], by_port);
+    result.votes.push_back(vote);
+    result.accepted = result.accepted && vote;
+  }
+  return result;
+}
+
+PlsResult run_pls_honest(const ProofLabelingScheme& scheme, const BccInstance& instance) {
+  return run_pls(scheme, instance, scheme.prove(instance));
+}
+
+std::size_t count_fooling_labelings(const ProofLabelingScheme& scheme,
+                                    const BccInstance& instance, std::size_t attempts,
+                                    Rng& rng) {
+  const std::size_t n = instance.num_vertices();
+  const std::size_t width = scheme.label_bits(n);
+  std::size_t fooled = 0;
+  for (std::size_t a = 0; a < attempts; ++a) {
+    std::vector<Label> labels(n, Label(width));
+    if (a == 0) {
+      // Structured cheat: the honest labels of this very instance (they exist
+      // even on NO instances — e.g. per-component labelings).
+      labels = scheme.prove(instance);
+    } else {
+      for (auto& l : labels) {
+        for (std::size_t i = 0; i < width; ++i) l[i] = rng.next_bool();
+      }
+    }
+    if (run_pls(scheme, instance, labels).accepted) ++fooled;
+  }
+  return fooled;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,60 @@
+// Proof-labeling schemes in the broadcast congested clique (Section 1.3).
+//
+// A PLS consists of a prover, who labels the vertices of a YES instance, and
+// a distributed one-round verifier: every vertex broadcasts its label, sees
+// everyone else's (by port), and votes; the system accepts iff all vote yes.
+// The verification complexity is the label length — [PP17] prove an
+// Ω(log n) bound for MST verification this way, and the paper notes that a
+// deterministic o(log n)-round BCC(1) Connectivity algorithm would yield an
+// o(log n) PLS for Connectivity via transcripts-as-labels (realized here by
+// TranscriptPls in transcript_pls.h).
+//
+// Soundness in this model is adversarial over labelings: on a NO instance,
+// EVERY labeling must make some vertex reject.
+#pragma once
+
+#include <vector>
+
+#include "bcc/instance.h"
+
+namespace bcclb {
+
+using Label = std::vector<bool>;
+
+class ProofLabelingScheme {
+ public:
+  virtual ~ProofLabelingScheme() = default;
+
+  // Honest prover: labels that make every verifier accept on a YES instance.
+  virtual std::vector<Label> prove(const BccInstance& instance) const = 0;
+
+  // Verifier at one vertex: its local view, its own label, and the labels
+  // broadcast by the other vertices, indexed by the port they arrived on.
+  virtual bool verify(const LocalView& view, const Label& own,
+                      const std::vector<Label>& by_port) const = 0;
+
+  // Verification complexity: maximum label bits on size-n instances.
+  virtual std::size_t label_bits(std::size_t n) const = 0;
+};
+
+struct PlsResult {
+  bool accepted = false;               // AND over vertex votes
+  std::vector<bool> votes;             // per vertex
+  std::size_t max_label_bits = 0;      // realized verification complexity
+};
+
+// Runs the one-round verifier on the given labeling (honest or adversarial).
+PlsResult run_pls(const ProofLabelingScheme& scheme, const BccInstance& instance,
+                  const std::vector<Label>& labels);
+
+// Convenience: honest prover then verify.
+PlsResult run_pls_honest(const ProofLabelingScheme& scheme, const BccInstance& instance);
+
+// Adversarial soundness probe: tries `attempts` random labelings of the
+// scheme's width plus simple structured cheats; returns the number that got
+// (wrongly) accepted. On a NO instance a sound scheme returns 0.
+std::size_t count_fooling_labelings(const ProofLabelingScheme& scheme,
+                                    const BccInstance& instance, std::size_t attempts,
+                                    Rng& rng);
+
+}  // namespace bcclb

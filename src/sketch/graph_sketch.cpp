@@ -1,0 +1,76 @@
+#include "sketch/graph_sketch.h"
+
+#include "common/check.h"
+
+namespace bcclb {
+
+GraphSketch::GraphSketch(std::size_t n, std::uint64_t seed, unsigned copies)
+    : n_(n), seed_(seed) {
+  BCCLB_REQUIRE(n >= 2, "need at least 2 vertices");
+  BCCLB_REQUIRE(copies >= 1, "need at least one copy");
+  samplers_.reserve(copies);
+  for (unsigned k = 0; k < copies; ++k) {
+    samplers_.emplace_back(L0Params{static_cast<std::uint64_t>(n) * n, seed, k});
+  }
+}
+
+GraphSketch GraphSketch::of_vertex(std::size_t n, VertexId v,
+                                   const std::vector<VertexId>& neighbors, std::uint64_t seed,
+                                   unsigned copies) {
+  GraphSketch gs(n, seed, copies);
+  for (VertexId w : neighbors) {
+    BCCLB_REQUIRE(w < n && w != v, "bad neighbor");
+    const VertexId lo = std::min(v, w), hi = std::max(v, w);
+    const std::uint64_t index = static_cast<std::uint64_t>(lo) * n + hi;
+    const std::int64_t sign = (v == lo) ? 1 : -1;
+    for (auto& s : gs.samplers_) s.update(index, sign);
+  }
+  return gs;
+}
+
+void GraphSketch::merge(const GraphSketch& other) {
+  BCCLB_REQUIRE(n_ == other.n_ && seed_ == other.seed_ &&
+                    samplers_.size() == other.samplers_.size(),
+                "incompatible graph sketches");
+  for (std::size_t k = 0; k < samplers_.size(); ++k) samplers_[k].merge(other.samplers_[k]);
+}
+
+std::optional<Edge> GraphSketch::sample_edge(unsigned copy) const {
+  BCCLB_REQUIRE(copy < samplers_.size(), "copy out of range");
+  const auto idx = samplers_[copy].sample();
+  if (!idx) return std::nullopt;
+  const VertexId u = static_cast<VertexId>(*idx / n_);
+  const VertexId v = static_cast<VertexId>(*idx % n_);
+  if (u >= v || v >= n_) return std::nullopt;  // not a valid edge index
+  return Edge(u, v);
+}
+
+std::vector<std::uint64_t> GraphSketch::serialize() const {
+  std::vector<std::uint64_t> words;
+  for (const auto& s : samplers_) {
+    const auto sw = s.serialize();
+    words.insert(words.end(), sw.begin(), sw.end());
+  }
+  return words;
+}
+
+GraphSketch GraphSketch::deserialize(std::size_t n, std::uint64_t seed, unsigned copies,
+                                     const std::vector<std::uint64_t>& words) {
+  GraphSketch gs(n, seed, copies);
+  std::size_t at = 0;
+  gs.samplers_.clear();
+  for (unsigned k = 0; k < copies; ++k) {
+    gs.samplers_.push_back(L0Sampler::deserialize(
+        L0Params{static_cast<std::uint64_t>(n) * n, seed, k}, words, at));
+  }
+  BCCLB_REQUIRE(at == words.size(), "trailing bytes in sketch serialization");
+  return gs;
+}
+
+std::size_t GraphSketch::size_bits() const {
+  std::size_t bits = 0;
+  for (const auto& s : samplers_) bits += s.size_bits();
+  return bits;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,48 @@
+// AGM graph sketches: linear sketches of vertex incidence vectors.
+//
+// Edge {u, v} with u < v has universe index u*n + v. Vertex u contributes +1
+// and vertex v contributes -1, so summing the sketches of a component's
+// vertices cancels internal edges and leaves exactly the boundary — sampling
+// the merged sketch returns an outgoing edge, which drives the Boruvka
+// phases of the sketch-based connectivity upper bound (E9).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sketch/l0_sampler.h"
+
+namespace bcclb {
+
+class GraphSketch {
+ public:
+  // `copies` independent samplers; copy k is consumed by Boruvka phase k.
+  GraphSketch(std::size_t n, std::uint64_t seed, unsigned copies);
+
+  // Sketch of a single vertex's incidence vector.
+  static GraphSketch of_vertex(std::size_t n, VertexId v,
+                               const std::vector<VertexId>& neighbors, std::uint64_t seed,
+                               unsigned copies);
+
+  void merge(const GraphSketch& other);
+
+  // Samples an edge from copy k; nullopt on sketch failure or empty boundary.
+  std::optional<Edge> sample_edge(unsigned copy) const;
+
+  unsigned num_copies() const { return static_cast<unsigned>(samplers_.size()); }
+  std::size_t n() const { return n_; }
+
+  std::vector<std::uint64_t> serialize() const;
+  static GraphSketch deserialize(std::size_t n, std::uint64_t seed, unsigned copies,
+                                 const std::vector<std::uint64_t>& words);
+  std::size_t size_bits() const;
+
+ private:
+  std::size_t n_;
+  std::uint64_t seed_;
+  std::vector<L0Sampler> samplers_;
+};
+
+}  // namespace bcclb

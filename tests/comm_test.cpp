@@ -1,0 +1,208 @@
+// Tests for the 2-party framework, the concrete protocols, and the
+// log-rank lower bounds (Theorem 2.3, Lemma 4.1, Corollaries 2.4/4.2).
+#include <gtest/gtest.h>
+
+#include "comm/components_protocol.h"
+#include "comm/lower_bounds.h"
+#include "comm/partition_protocols.h"
+#include "comm/protocol.h"
+#include "common/mathutil.h"
+#include "common/random.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "partition/bell.h"
+#include "partition/enumeration.h"
+#include "partition/pair_partition.h"
+#include "partition/sampling.h"
+
+namespace bcclb {
+namespace {
+
+TEST(Protocol, BitHelpersRoundTrip) {
+  std::vector<bool> bits;
+  append_uint(bits, 0b1011, 4);
+  append_uint(bits, 7, 3);
+  std::size_t at = 0;
+  EXPECT_EQ(read_uint(bits, at, 4), 0b1011u);
+  EXPECT_EQ(read_uint(bits, at, 3), 7u);
+  EXPECT_EQ(at, 7u);
+  EXPECT_THROW(read_uint(bits, at, 1), std::invalid_argument);
+  EXPECT_THROW(append_uint(bits, 4, 2), std::invalid_argument);
+}
+
+TEST(Protocol, TimeoutThrows) {
+  class Chatter final : public PartyAlgorithm {
+   public:
+    std::vector<bool> send(unsigned) override { return {true}; }
+    void receive(unsigned, const std::vector<bool>&) override {}
+    bool finished() const override { return false; }
+  };
+  Chatter a, b;
+  EXPECT_THROW(run_protocol(a, b, 5), std::invalid_argument);
+}
+
+TEST(ComponentsProtocol, EncodingRoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const SetPartition p = uniform_partition(9, rng);
+    EXPECT_EQ(decode_partition(9, encode_partition(p)), p);
+  }
+}
+
+TEST(ComponentsProtocol, DecidesConnectivityOnRandomEdgeSplits) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 12;
+    const Graph g = random_gnp(n, 0.12, rng);
+    // Random edge partition between Alice and Bob.
+    Graph ga(n), gb(n);
+    for (const Edge& e : g.edges()) {
+      (rng.next_bool() ? ga : gb).add_edge(e.u, e.v);
+    }
+    ComponentsAlice alice(ga);
+    ComponentsBob bob(gb);
+    const ProtocolResult res = run_protocol(alice, bob, 3);
+    EXPECT_EQ(bob.connected(), is_connected(g)) << "trial " << trial;
+    // Cost: exactly n * ceil(log2 n) bits Alice -> Bob.
+    EXPECT_EQ(res.bits_alice_to_bob, n * ceil_log2(n));
+    EXPECT_EQ(res.bits_bob_to_alice, 0u);
+    // Bob's join equals the component partition of the union graph.
+    const auto labels = component_labels(g);
+    std::vector<std::uint32_t> l(labels.begin(), labels.end());
+    EXPECT_EQ(bob.joined_components(), SetPartition::from_labels(l));
+  }
+}
+
+TEST(PartitionDecision, ExhaustiveOnSmallGround) {
+  const auto parts = all_partitions(4);
+  for (const auto& pa : parts) {
+    for (const auto& pb : parts) {
+      PartitionDecisionAlice alice(pa);
+      PartitionDecisionBob bob(pb);
+      run_protocol(alice, bob, 3);
+      const bool expect = pa.join(pb).is_coarsest();
+      EXPECT_EQ(bob.join_is_one(), expect);
+      EXPECT_EQ(alice.join_is_one(), expect);  // Bob's 1-bit answer reached Alice
+    }
+  }
+}
+
+TEST(PartitionDecision, CostIsNLogNPlusOne) {
+  Rng rng(5);
+  const SetPartition pa = uniform_partition(16, rng);
+  const SetPartition pb = uniform_partition(16, rng);
+  PartitionDecisionAlice alice(pa);
+  PartitionDecisionBob bob(pb);
+  const ProtocolResult res = run_protocol(alice, bob, 3);
+  EXPECT_EQ(res.total_bits(), 16u * 4u + 1u);
+}
+
+TEST(PartitionComp, ExactProtocolComputesJoin) {
+  Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const SetPartition pa = uniform_partition(8, rng);
+    const SetPartition pb = uniform_partition(8, rng);
+    PartitionCompAlice alice(pa);
+    PartitionCompBob bob(pb);
+    run_protocol(alice, bob, 3);
+    EXPECT_EQ(bob.join(), pa.join(pb));
+  }
+}
+
+TEST(PartitionComp, TruncatedErrsOnlyOnTailInputs) {
+  const std::size_t n = 5;
+  const double keep = 0.6;
+  const auto keep_count =
+      static_cast<std::uint64_t>(keep * static_cast<double>(bell_number_u64(n)));
+  const SetPartition pb = SetPartition::finest(n);
+  std::size_t errors = 0;
+  for (const auto& pa : all_partitions(n)) {
+    PartitionCompAlice alice(pa, keep);
+    PartitionCompBob bob(pb);
+    run_protocol(alice, bob, 3);
+    const bool correct = bob.join() == pa;
+    const bool kept = partition_index(pa) < keep_count;
+    if (kept) {
+      EXPECT_TRUE(correct) << pa.to_string();
+    }
+    if (!correct) ++errors;
+  }
+  const double eps = static_cast<double>(errors) / static_cast<double>(bell_number_u64(n));
+  EXPECT_NEAR(eps, 1.0 - keep, 0.08);
+}
+
+TEST(TwoPartitionIndex, ExhaustiveOnSixElements) {
+  const auto matchings = all_perfect_matchings(6);
+  const unsigned width = ceil_log2(num_perfect_matchings(6));
+  for (const auto& pa : matchings) {
+    for (const auto& pb : matchings) {
+      TwoPartitionIndexAlice alice(pa);
+      TwoPartitionIndexBob bob(pb);
+      const ProtocolResult res = run_protocol(alice, bob, 3);
+      EXPECT_EQ(bob.join_is_one(), pa.join(pb).is_coarsest());
+      EXPECT_EQ(bob.join(), pa.join(pb));
+      EXPECT_EQ(res.total_bits(), width);
+    }
+  }
+}
+
+TEST(TwoPartitionIndex, RejectsNonMatchings) {
+  EXPECT_THROW(TwoPartitionIndexAlice(SetPartition::coarsest(4)), std::invalid_argument);
+  EXPECT_THROW(TwoPartitionIndexBob(SetPartition::finest(4)), std::invalid_argument);
+}
+
+// ---- Rank lower bounds -------------------------------------------------------
+
+TEST(RankBounds, Theorem23PartitionMatrixFullRank) {
+  // rank(M_n) = B_n (Dowling–Wilson).
+  for (std::size_t n = 1; n <= 6; ++n) {
+    const RankReport r = partition_matrix_rank(n);
+    EXPECT_EQ(r.dimension, bell_number_u64(n)) << "n=" << n;
+    EXPECT_TRUE(r.full_rank) << "n=" << n;
+  }
+}
+
+TEST(RankBounds, Lemma41TwoPartitionMatrixFullRank) {
+  // rank(E_n) = (n-1)!!.
+  for (std::size_t n : {2u, 4u, 6u, 8u}) {
+    const RankReport r = two_partition_matrix_rank(n);
+    EXPECT_EQ(r.dimension, num_perfect_matchings(n)) << "n=" << n;
+    EXPECT_TRUE(r.full_rank) << "n=" << n;
+  }
+}
+
+TEST(RankBounds, LogRankMatchesLogBell) {
+  const RankReport r = partition_matrix_rank(6);
+  EXPECT_NEAR(r.log_rank_bound(), log2_bell(6), 1e-9);
+}
+
+TEST(RankBounds, SandwichLowerLeqUpper) {
+  // log-rank bound <= trivial protocol cost, and both are Θ(n log n).
+  for (std::size_t n = 4; n <= 128; n *= 2) {
+    const double lower = partition_cc_lower_bound(n);
+    const double upper = static_cast<double>(components_protocol_cost(n));
+    EXPECT_LT(lower, upper) << "n=" << n;
+    EXPECT_GT(lower, 0.1 * static_cast<double>(n)) << "n=" << n;
+  }
+  // Ratio upper/lower stays bounded: a constant-factor sandwich.
+  const double r128 = static_cast<double>(components_protocol_cost(128)) /
+                      partition_cc_lower_bound(128);
+  EXPECT_LT(r128, 6.0);
+}
+
+TEST(RankBounds, Kt1RoundLowerBoundShape) {
+  // Ω(log n): at b = 1 the bound is cc / (4n log2 3) and grows with n.
+  double prev = 0;
+  for (std::size_t n = 8; n <= 512; n *= 2) {
+    const double rounds = kt1_round_lower_bound(n, partition_cc_lower_bound(n), 1);
+    EXPECT_GT(rounds, prev) << "n=" << n;
+    prev = rounds;
+  }
+  // b-fold speedup: BCC(b) bound is ~1/b of BCC(1)'s for moderate b.
+  const double r1 = kt1_round_lower_bound(256, partition_cc_lower_bound(256), 1);
+  const double r8 = kt1_round_lower_bound(256, partition_cc_lower_bound(256), 8);
+  EXPECT_GT(r1 / r8, 4.0);
+}
+
+}  // namespace
+}  // namespace bcclb

@@ -1,0 +1,195 @@
+// Tests for the common substrate: RNG, public coins, BigUint, math helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bigint.h"
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "common/random.h"
+
+namespace bcclb {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.next_below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, trials / 10 - 600);
+    EXPECT_LT(c, trials / 10 + 600);
+  }
+}
+
+TEST(Rng, NextInBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::multiset<int> a(v.begin(), v.end()), b(w.begin(), w.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(PublicCoins, SameSeedSameBits) {
+  PublicCoins a(123, 256), b(123, 256);
+  for (std::size_t i = 0; i < 256; ++i) EXPECT_EQ(a.bit(i), b.bit(i));
+}
+
+TEST(PublicCoins, OutOfRangeThrows) {
+  PublicCoins coins(1, 10);
+  EXPECT_THROW(coins.bit(10), std::invalid_argument);
+}
+
+TEST(PublicCoins, WordMatchesBits) {
+  PublicCoins coins(77, 128);
+  const std::uint64_t w = coins.word(3, 16);
+  for (unsigned k = 0; k < 16; ++k) {
+    EXPECT_EQ((w >> (15 - k)) & 1, static_cast<std::uint64_t>(coins.bit(3 + k)));
+  }
+}
+
+TEST(BigUint, SmallArithmetic) {
+  BigUint a(7), b(5);
+  EXPECT_EQ((a + b).to_u64(), 12u);
+  EXPECT_EQ((a - b).to_u64(), 2u);
+  EXPECT_EQ((a * b).to_u64(), 35u);
+  EXPECT_EQ((a * 1000u).to_u64(), 7000u);
+}
+
+TEST(BigUint, SubtractUnderflowThrows) {
+  EXPECT_THROW(BigUint(3) - BigUint(5), std::invalid_argument);
+}
+
+TEST(BigUint, LargeMultiplication) {
+  // 2^64 * 2^64 = 2^128: build via repeated doubling.
+  BigUint x(1);
+  for (int i = 0; i < 64; ++i) x *= 2;
+  const BigUint sq = x * x;
+  EXPECT_EQ(sq.bit_length(), 129u);
+  EXPECT_NEAR(sq.log2(), 128.0, 1e-9);
+}
+
+TEST(BigUint, DecimalRoundTrip) {
+  const std::string s = "123456789012345678901234567890";
+  EXPECT_EQ(BigUint::from_decimal(s).to_decimal(), s);
+}
+
+TEST(BigUint, DecimalOfZeroAndSmall) {
+  EXPECT_EQ(BigUint(0).to_decimal(), "0");
+  EXPECT_EQ(BigUint(42).to_decimal(), "42");
+}
+
+TEST(BigUint, CompareOrdering) {
+  EXPECT_LT(BigUint(3), BigUint(5));
+  EXPECT_GT(BigUint::from_decimal("100000000000000000000"), BigUint(UINT64_MAX));
+  EXPECT_EQ(BigUint(7), BigUint(7));
+}
+
+TEST(BigUint, Log2KnownValues) {
+  EXPECT_NEAR(BigUint(1024).log2(), 10.0, 1e-12);
+  EXPECT_NEAR(BigUint(1000).log2(), std::log2(1000.0), 1e-12);
+}
+
+TEST(BigUint, FitsU64Boundary) {
+  EXPECT_TRUE(BigUint(UINT64_MAX).fits_u64());
+  BigUint big = BigUint(UINT64_MAX) + BigUint(1);
+  EXPECT_FALSE(big.fits_u64());
+  EXPECT_THROW(big.to_u64(), std::invalid_argument);
+}
+
+TEST(MathUtil, HarmonicValues) {
+  EXPECT_DOUBLE_EQ(harmonic(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_NEAR(harmonic(4), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+  // Asymptotic branch agrees with the direct sum at the crossover.
+  double direct = 0;
+  for (int i = 1; i <= 20000; ++i) direct += 1.0 / i;
+  EXPECT_NEAR(harmonic(20000), direct, 1e-9);
+}
+
+TEST(MathUtil, Log2Factorial) {
+  EXPECT_NEAR(log2_factorial(5), std::log2(120.0), 1e-9);
+  EXPECT_NEAR(log2_factorial(0), 0.0, 1e-12);
+}
+
+TEST(MathUtil, PerfectMatchingCounts) {
+  EXPECT_EQ(perfect_matching_count(2), 1u);
+  EXPECT_EQ(perfect_matching_count(4), 3u);
+  EXPECT_EQ(perfect_matching_count(6), 15u);
+  EXPECT_EQ(perfect_matching_count(8), 105u);
+  EXPECT_EQ(perfect_matching_count(10), 945u);
+  EXPECT_EQ(perfect_matching_count(12), 10395u);
+}
+
+TEST(MathUtil, Log2DoubleFactorialMatchesExact) {
+  for (std::uint64_t n = 2; n <= 20; n += 2) {
+    EXPECT_NEAR(log2_double_factorial_odd(n),
+                std::log2(static_cast<double>(perfect_matching_count(n))), 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(MathUtil, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1ULL << 40), 40u);
+  EXPECT_EQ(ceil_log2((1ULL << 40) + 1), 41u);
+}
+
+TEST(MathUtil, CheckedPow) {
+  EXPECT_EQ(checked_pow(3, 4), 81u);
+  EXPECT_EQ(checked_pow(10, 0), 1u);
+  EXPECT_THROW(checked_pow(2, 64), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bcclb

@@ -1,0 +1,108 @@
+// Tests for instance counts (closed forms) and the decision-rule optimizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bcc/algorithms/two_cycle_adversaries.h"
+#include "common/mathutil.h"
+#include "core/decision_optimizer.h"
+#include "core/kt0_engine.h"
+#include "crossing/instance_counts.h"
+#include "graph/cycle_structure.h"
+
+namespace bcclb {
+namespace {
+
+TEST(InstanceCounts, MatchEnumerationExactly) {
+  for (std::size_t n = 6; n <= 9; ++n) {
+    EXPECT_EQ(count_one_cycle_structures(n).to_u64(), all_one_cycle_structures(n).size())
+        << "n=" << n;
+    EXPECT_EQ(count_two_cycle_structures(n).to_u64(), all_two_cycle_structures(n).size())
+        << "n=" << n;
+  }
+  // Per-split counts at n = 8 (seen in E3): 672 and 315.
+  EXPECT_EQ(count_two_cycle_structures_with_smaller(8, 3).to_u64(), 672u);
+  EXPECT_EQ(count_two_cycle_structures_with_smaller(8, 4).to_u64(), 315u);
+}
+
+TEST(InstanceCounts, RatioConvergesToHarmonic) {
+  // Lemma 3.9: |V2|/|V1| = Θ(log n). The exact ratio is
+  // Σ_{i=3}^{n/2} n/(2 i (n-i)) = (H_{n/2} + ln 2 - 3/2)/2 + o(1): the Θ of
+  // the lemma with the constant pinned at 1/2 of the lemma's per-term upper
+  // bound (the proof only needed |T_i| <= |V1| n/(i(n-i))).
+  double prev_quotient = 2.0;
+  for (std::size_t n : {10u, 20u, 50u, 100u, 200u}) {
+    const double ratio = two_to_one_cycle_ratio(n);
+    const double pred = harmonic(n / 2) - 1.5;
+    const double quotient = ratio / pred;
+    EXPECT_GT(quotient, 0.45) << "n=" << n;
+    EXPECT_LT(quotient, 1.1) << "n=" << n;
+    EXPECT_LE(quotient, prev_quotient + 0.02) << "n=" << n;  // decreasing toward 1/2
+    prev_quotient = quotient;
+  }
+  const double asymptote =
+      (harmonic(100) + std::log(2.0) - 1.5) / 2.0;  // exact up to O(1/n)
+  EXPECT_NEAR(two_to_one_cycle_ratio(200), asymptote, 0.02);
+}
+
+TEST(InstanceCounts, ExactRatioFormula) {
+  // ratio = sum_i n!/(i(n-i) * 4-or-8) / ((n-1)!/2) = sum n/(2 i (n-i)), with
+  // the i = n/2 term halved. Check against the direct sum for n = 12.
+  const std::size_t n = 12;
+  double direct = 0.0;
+  for (std::size_t i = 3; 2 * i <= n; ++i) {
+    const double term = static_cast<double>(n) / (2.0 * i * (n - i));
+    direct += (2 * i == n) ? term / 2 : term;
+  }
+  EXPECT_NEAR(two_to_one_cycle_ratio(n), direct, 1e-9);
+}
+
+TEST(DecisionOptimizer, SilentBroadcastsCannotBeatHalf) {
+  // Silence makes YES and NO instances share all states (up to ports):
+  // optimization cannot help, and inseparable mass keeps the error at 1/2.
+  const auto factory = two_cycle_adversary_factory(AdversaryKind::kSilent, 2, always_yes_rule());
+  const auto rep = optimize_decision_rule(7, 2, factory);
+  EXPECT_NEAR(rep.greedy_error, 0.5, 0.02);
+  EXPECT_EQ(rep.states_voting_no, 0u);
+}
+
+TEST(DecisionOptimizer, GreedyNeverWorseThanAlwaysYes) {
+  const PublicCoins coins(5, 1024);
+  for (const AdversaryKind kind :
+       {AdversaryKind::kIdBits, AdversaryKind::kHashedId, AdversaryKind::kEcho}) {
+    for (unsigned t : {1u, 2u}) {
+      const auto factory = two_cycle_adversary_factory(kind, t, always_yes_rule());
+      const auto rep = optimize_decision_rule(7, t, factory, &coins);
+      EXPECT_LE(rep.greedy_error, rep.always_yes_error + 1e-12)
+          << adversary_kind_name(kind) << " t=" << t;
+    }
+  }
+}
+
+TEST(DecisionOptimizer, GreedyRespectsTheMatchingFloor) {
+  // The certified bound from the indistinguishability matching must lower
+  // bound even the optimized rule's error.
+  const PublicCoins coins(7, 1024);
+  for (const AdversaryKind kind : {AdversaryKind::kIdBits, AdversaryKind::kEcho}) {
+    const auto factory = two_cycle_adversary_factory(kind, 2, always_yes_rule());
+    const auto matching = kt0_matching_experiment(7, 2, factory, &coins);
+    const auto optimized = optimize_decision_rule(7, 2, factory, &coins);
+    EXPECT_GE(optimized.greedy_error + 1e-9, matching.matching_error_bound)
+        << adversary_kind_name(kind);
+  }
+}
+
+TEST(DecisionOptimizer, RicherBroadcastsReduceError) {
+  // The echo adversary at more rounds reveals more: the optimized error
+  // should not increase with t.
+  const auto mk = [](unsigned t) {
+    return two_cycle_adversary_factory(AdversaryKind::kEcho, t, always_yes_rule());
+  };
+  const double e1 = optimize_decision_rule(7, 1, mk(1)).greedy_error;
+  const double e3 = optimize_decision_rule(7, 3, mk(3)).greedy_error;
+  EXPECT_LE(e3, e1 + 0.02);
+  EXPECT_LT(e3, 0.5);  // talking must beat silence eventually
+}
+
+}  // namespace
+}  // namespace bcclb

@@ -1,0 +1,91 @@
+// Tests for the Theorem 4.5 information-theoretic engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/info_engine.h"
+#include "partition/bell.h"
+
+namespace bcclb {
+namespace {
+
+TEST(InfoEngine, ExactProtocolTransfersFullEntropy) {
+  for (std::size_t n : {3u, 5u, 7u}) {
+    const InfoReport r = partition_comp_information(n);
+    EXPECT_DOUBLE_EQ(r.realized_error, 0.0) << "n=" << n;
+    // Deterministic, injective on PA: I(PA; Π) = H(PA) = log2 B_n.
+    EXPECT_NEAR(r.mutual_information, r.h_pa, 1e-9) << "n=" << n;
+    EXPECT_NEAR(r.h_pa, log2_bell(n), 1e-12);
+    EXPECT_GE(r.mutual_information, r.fano_floor - 1e-9);
+  }
+}
+
+TEST(InfoEngine, TruncatedProtocolLosesOnlyEpsilonEntropy) {
+  const std::size_t n = 7;  // B_7 = 877
+  for (double keep : {0.9, 0.75, 0.5}) {
+    const InfoReport r = partition_comp_information(n, keep);
+    // Error ≈ 1 - keep (the tail inputs all collapse to one transcript).
+    EXPECT_NEAR(r.realized_error, 1.0 - keep, 0.05) << "keep=" << keep;
+    // Theorem 4.5's bound: I >= (1-ε) H(PA) - O(1).
+    EXPECT_GE(r.mutual_information, r.fano_floor - 1e-9) << "keep=" << keep;
+    // And the collapse really costs information: I < H.
+    EXPECT_LT(r.mutual_information, r.h_pa);
+    // Quantitatively: I ≈ (1-ε) log2(B_n) + ε log2(1/ε) — kept inputs keep
+    // their full index entropy; the collapsed tail contributes its own mass.
+    const double eps = r.realized_error;
+    EXPECT_NEAR(r.mutual_information, (1 - eps) * r.h_pa - eps * std::log2(eps), 0.5)
+        << "keep=" << keep;
+  }
+}
+
+TEST(InfoEngine, InformationGrowsLikeNLogN) {
+  double prev = 0.0;
+  for (std::size_t n = 3; n <= 9; ++n) {
+    const InfoReport r = partition_comp_information(n);
+    EXPECT_GT(r.mutual_information, prev);
+    prev = r.mutual_information;
+    // Θ(n log n): ratio to n*log2(n) in a constant band for these sizes.
+    const double ratio = r.mutual_information / (n * std::log2(static_cast<double>(n)));
+    EXPECT_GT(ratio, 0.3) << "n=" << n;
+    EXPECT_LT(ratio, 1.2) << "n=" << n;
+  }
+}
+
+TEST(InfoEngine, ImpliedRoundBoundGrows) {
+  // I / (per-round bits) is the Ω(log n) story: must increase with n.
+  double prev = 0.0;
+  for (std::size_t n = 4; n <= 9; ++n) {
+    const InfoReport r = partition_comp_information(n);
+    EXPECT_GT(r.implied_bcc_rounds, prev) << "n=" << n;
+    prev = r.implied_bcc_rounds;
+  }
+}
+
+TEST(InfoEngine, TranscriptNeverExceedsEncodingCost) {
+  const InfoReport r = partition_comp_information(6);
+  // Exact protocol ships n*ceil(log2 n) = 18 bits.
+  EXPECT_EQ(r.max_transcript_bits, 18u);
+}
+
+TEST(InfoEngine, RealBccRunsLeakAtLeastTheEntropy) {
+  // Theorem 4.5 on a concrete algorithm: Boruvka through the Section 4.3
+  // simulation is correct, so its protocol transcript must carry at least
+  // H(PA) = log2(B_n) bits of information about PA.
+  for (std::size_t n : {3u, 4u, 5u}) {
+    const BccInfoReport r = bcc_simulation_information(n, 8);
+    EXPECT_TRUE(r.all_correct) << "n=" << n;
+    EXPECT_GE(r.transcript_information + 1e-9, r.h_pa) << "n=" << n;
+    // And the raw budget dominates the information.
+    EXPECT_GE(static_cast<double>(r.max_bits), r.transcript_information) << "n=" << n;
+  }
+}
+
+TEST(InfoEngine, RejectsBadArguments) {
+  EXPECT_THROW(partition_comp_information(0), std::invalid_argument);
+  EXPECT_THROW(partition_comp_information(11), std::invalid_argument);
+  EXPECT_THROW(partition_comp_information(5, 0.0), std::invalid_argument);
+  EXPECT_THROW(partition_comp_information(5, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bcclb

@@ -1,0 +1,119 @@
+// Tests for GF(2) and mod-p matrix ranks.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "linalg/gf2_matrix.h"
+#include "linalg/modp_matrix.h"
+
+namespace bcclb {
+namespace {
+
+BoolMatrix bool_matrix(std::size_t rows, std::size_t cols,
+                       std::initializer_list<std::uint8_t> entries) {
+  BoolMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.data.assign(entries);
+  return m;
+}
+
+TEST(Gf2Matrix, IdentityFullRank) {
+  Gf2Matrix m(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) m.set(i, i, true);
+  EXPECT_EQ(m.rank(), 5u);
+}
+
+TEST(Gf2Matrix, ZeroRankZero) {
+  Gf2Matrix m(4, 6);
+  EXPECT_EQ(m.rank(), 0u);
+}
+
+TEST(Gf2Matrix, DuplicateRowsLoseRank) {
+  const auto bm = bool_matrix(3, 3, {1, 0, 1, 1, 0, 1, 0, 1, 0});
+  EXPECT_EQ(Gf2Matrix::from_bool_matrix(bm).rank(), 2u);
+}
+
+TEST(Gf2Matrix, RankAtMostMinDim) {
+  Rng rng(5);
+  Gf2Matrix m(7, 3);
+  for (std::size_t r = 0; r < 7; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m.set(r, c, rng.next_bool());
+  }
+  EXPECT_LE(m.rank(), 3u);
+}
+
+TEST(Gf2Matrix, WideMatrixBeyondOneWord) {
+  // 100 columns crosses the 64-bit word boundary.
+  Gf2Matrix m(100, 100);
+  for (std::size_t i = 0; i < 100; ++i) m.set(i, 99 - i, true);
+  EXPECT_EQ(m.rank(), 100u);
+}
+
+TEST(Gf2Matrix, GetSetRoundTrip) {
+  Gf2Matrix m(2, 70);
+  m.set(1, 65, true);
+  EXPECT_TRUE(m.get(1, 65));
+  m.set(1, 65, false);
+  EXPECT_FALSE(m.get(1, 65));
+  EXPECT_THROW(m.get(2, 0), std::invalid_argument);
+}
+
+TEST(ModpMatrix, IdentityFullRank) {
+  ModpMatrix m(6, 6, kPrime30A);
+  for (std::size_t i = 0; i < 6; ++i) m.set(i, i, 1 + i);
+  EXPECT_EQ(m.rank(), 6u);
+}
+
+TEST(ModpMatrix, SingularExample) {
+  // Row3 = Row1 + Row2 over the integers, hence mod p.
+  ModpMatrix m(3, 3, kPrime30A);
+  const std::uint64_t rows[3][3] = {{1, 2, 3}, {4, 5, 6}, {5, 7, 9}};
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m.set(r, c, rows[r][c]);
+  }
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(ModpMatrix, InverseIsCorrect) {
+  for (std::uint64_t x : std::initializer_list<std::uint64_t>{2, 3, 123456, kPrime30A - 1}) {
+    const std::uint64_t inv = modp_inverse(x, kPrime30A);
+    EXPECT_EQ((static_cast<unsigned __int128>(x) * inv) % kPrime30A, 1u);
+  }
+  EXPECT_THROW(modp_inverse(0, kPrime30A), std::invalid_argument);
+}
+
+TEST(ModpMatrix, AgreesWithGf2OnRandomFullRank) {
+  // A random 0/1 matrix that is full rank over GF(2) must be full rank over
+  // GF(p) too (odd determinant is nonzero mod a large prime? No — only
+  // nonzero over Q; mod p it could vanish, but for random p that event has
+  // probability ~det/p and our dims keep det far below p^2 overflow; we only
+  // assert rank_modp >= rank over Q is impossible, i.e. modp <= dimension).
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    BoolMatrix bm;
+    bm.rows = bm.cols = 12;
+    bm.data.resize(144);
+    for (auto& x : bm.data) x = rng.next_bool() ? 1 : 0;
+    const std::size_t r2 = Gf2Matrix::from_bool_matrix(bm).rank();
+    const std::size_t rp = ModpMatrix::from_bool_matrix(bm, kPrime30A).rank();
+    // Rational rank >= both; and GF(2) full rank implies rational full rank.
+    EXPECT_LE(r2, 12u);
+    EXPECT_LE(rp, 12u);
+    if (r2 == 12u) {
+      EXPECT_EQ(rp, 12u);
+    }
+  }
+}
+
+TEST(ModpMatrix, TwoPrimesAgreeOnIntegerMatrix) {
+  Rng rng(21);
+  BoolMatrix bm;
+  bm.rows = bm.cols = 10;
+  bm.data.resize(100);
+  for (auto& x : bm.data) x = rng.next_bool() ? 1 : 0;
+  EXPECT_EQ(ModpMatrix::from_bool_matrix(bm, kPrime30A).rank(),
+            ModpMatrix::from_bool_matrix(bm, kPrime30B).rank());
+}
+
+}  // namespace
+}  // namespace bcclb

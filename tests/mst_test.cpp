@@ -1,0 +1,127 @@
+// Tests for weighted graphs and minimum spanning forests over broadcast.
+#include <gtest/gtest.h>
+
+#include "bcc/algorithms/boruvka_mst.h"
+#include "common/random.h"
+#include "graph/components.h"
+#include "graph/weighted.h"
+
+namespace bcclb {
+namespace {
+
+TEST(WeightedGraph, BasicAccessors) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 5);
+  g.add_edge(2, 1, 7);
+  EXPECT_EQ(g.weight(0, 1), 5u);
+  EXPECT_EQ(g.weight(1, 0), 5u);
+  EXPECT_EQ(g.weight(1, 2), 7u);
+  EXPECT_THROW(g.weight(0, 3), std::invalid_argument);
+  const auto inc = g.incident(1);
+  EXPECT_EQ(inc.size(), 2u);
+}
+
+TEST(WeightedGraph, EdgeCanonicalization) {
+  const WeightedEdge e(3, 1, 9);
+  EXPECT_EQ(e.u, 1u);
+  EXPECT_EQ(e.v, 3u);
+}
+
+TEST(Kruskal, HandComputedExample) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(2, 3, 3);
+  g.add_edge(3, 0, 4);
+  g.add_edge(0, 2, 5);
+  const auto tree = kruskal_msf(g);
+  ASSERT_EQ(tree.size(), 3u);
+  EXPECT_EQ(total_weight(tree), 6u);
+  EXPECT_EQ(tree[0], WeightedEdge(0, 1, 1));
+  EXPECT_EQ(tree[2], WeightedEdge(2, 3, 3));
+}
+
+TEST(Kruskal, ForestOnDisconnectedInput) {
+  WeightedGraph g(6);
+  g.add_edge(0, 1, 3);
+  g.add_edge(1, 2, 1);
+  g.add_edge(0, 2, 2);
+  g.add_edge(3, 4, 9);
+  const auto tree = kruskal_msf(g);
+  EXPECT_EQ(tree.size(), 3u);  // 2 + 1 edges across two components
+  EXPECT_EQ(total_weight(tree), 1u + 2u + 9u);
+}
+
+TEST(RandomWeighted, UniqueWeightsAreUnique) {
+  Rng rng(1);
+  const WeightedGraph g = random_weighted_gnp(20, 0.3, 50, true, rng);
+  std::set<std::uint32_t> ws;
+  for (const auto& e : g.edges()) EXPECT_TRUE(ws.insert(e.w).second);
+}
+
+class MstSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MstSweep, BroadcastForestMatchesKruskal) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 7);
+  for (int trial = 0; trial < 6; ++trial) {
+    const WeightedGraph g =
+        random_weighted_gnp(n, 2.5 / static_cast<double>(n), 100, false, rng);
+    const MstRun out = run_boruvka_mst(g, 8);
+    EXPECT_TRUE(out.run.all_finished);
+    const auto want = kruskal_msf(g);
+    EXPECT_EQ(out.forest, want) << "n=" << n << " trial=" << trial;
+    EXPECT_EQ(out.run.decision, is_connected(g.skeleton()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MstSweep, ::testing::Values(6, 12, 24, 48));
+
+TEST(Mst, DenseGraphWithDuplicateWeights) {
+  Rng rng(9);
+  const WeightedGraph g = random_weighted_gnp(16, 0.5, 4, false, rng);  // many ties
+  const MstRun out = run_boruvka_mst(g, 8);
+  EXPECT_EQ(out.forest, kruskal_msf(g));
+  EXPECT_EQ(total_weight(out.forest), total_weight(kruskal_msf(g)));
+}
+
+TEST(Mst, EmptyAndSingleEdge) {
+  const MstRun none = run_boruvka_mst(WeightedGraph(5), 8);
+  EXPECT_TRUE(none.forest.empty());
+  EXPECT_FALSE(none.run.decision);
+
+  WeightedGraph one(3);
+  one.add_edge(0, 2, 42);
+  const MstRun single = run_boruvka_mst(one, 8);
+  ASSERT_EQ(single.forest.size(), 1u);
+  EXPECT_EQ(single.forest[0], WeightedEdge(0, 2, 42));
+}
+
+TEST(Mst, NarrowBandwidthSplitsPhases) {
+  Rng rng(11);
+  const WeightedGraph g = random_weighted_gnp(12, 0.4, 100, true, rng);
+  const MstRun wide = run_boruvka_mst(g, 21);   // 1 + 4 + 16 bits in one round
+  const MstRun narrow = run_boruvka_mst(g, 3);  // 7 rounds per phase
+  EXPECT_EQ(wide.forest, narrow.forest);
+  EXPECT_EQ(narrow.run.rounds_executed, wide.run.rounds_executed * 7);
+}
+
+TEST(Mst, RejectsOversizedWeights) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1u << 16);
+  EXPECT_THROW(BoruvkaMstAlgorithm{g}, std::invalid_argument);
+}
+
+TEST(Mst, ComponentLabelsAreMinIds) {
+  Rng rng(13);
+  const WeightedGraph g = random_weighted_gnp(15, 0.1, 100, false, rng);
+  const MstRun out = run_boruvka_mst(g, 8);
+  const auto labels = component_labels(g.skeleton());
+  for (VertexId v = 0; v < 15; ++v) {
+    ASSERT_TRUE(out.run.labels[v].has_value());
+    EXPECT_EQ(*out.run.labels[v], labels[v]);
+  }
+}
+
+}  // namespace
+}  // namespace bcclb

@@ -1,0 +1,107 @@
+// Tests for the Question-2 explorer: lossy/randomized Partition protocol
+// families and their bits-vs-error frontier.
+#include <gtest/gtest.h>
+
+#include "comm/randomized_partition.h"
+#include "partition/sampling.h"
+#include "common/mathutil.h"
+
+namespace bcclb {
+namespace {
+
+TEST(Question2, ExactEndpointsAreErrorFree) {
+  Rng rng(1);
+  // Full prefix = the exact protocol: zero error.
+  const auto full = measure_prefix_protocol(10, 10, 200, rng);
+  EXPECT_DOUBLE_EQ(full.join_error, 0.0);
+  EXPECT_DOUBLE_EQ(full.decision_error, 0.0);
+  // Hash width >= ceil(log2 n) cannot eliminate collisions by pigeonhole
+  // alone, but collisions are rare; the error should be small.
+  const auto wide = measure_hash_protocol(10, 16, 400, rng);
+  EXPECT_LT(wide.join_error, 0.02);
+}
+
+TEST(Question2, ZeroBudgetIsBad) {
+  Rng rng(2);
+  const auto none = measure_prefix_protocol(12, 0, 300, rng);
+  EXPECT_EQ(none.bits, 0u);
+  // Presuming all singletons is wrong for most uniform partitions.
+  EXPECT_GT(none.join_error, 0.5);
+}
+
+TEST(Question2, PrefixErrorDecreasesWithBudget) {
+  Rng rng(3);
+  double prev = 1.1;
+  for (std::size_t m : {0u, 4u, 8u, 12u, 16u}) {
+    const auto p = measure_prefix_protocol(16, m, 400, rng);
+    EXPECT_LE(p.join_error, prev + 0.08) << "m=" << m;  // monotone up to noise
+    prev = p.join_error;
+  }
+  const auto exact = measure_prefix_protocol(16, 16, 200, rng);
+  EXPECT_DOUBLE_EQ(exact.join_error, 0.0);
+}
+
+TEST(Question2, HashErrorDecreasesWithWidth) {
+  Rng rng(4);
+  const auto h1 = measure_hash_protocol(12, 1, 400, rng);
+  const auto h4 = measure_hash_protocol(12, 4, 400, rng);
+  const auto h10 = measure_hash_protocol(12, 10, 400, rng);
+  EXPECT_GT(h1.join_error, h4.join_error);
+  EXPECT_GT(h4.join_error, h10.join_error);
+  // 1-bit hashes collapse ~half the block pairs: decisions lean hard
+  // toward "join = 1", a one-sided failure mode.
+  EXPECT_GT(h1.decision_error, 0.1);
+}
+
+TEST(Question2, BitsAccounting) {
+  Rng rng(5);
+  EXPECT_EQ(measure_prefix_protocol(16, 8, 10, rng).bits, 8u * 3u);
+  EXPECT_EQ(measure_hash_protocol(16, 3, 10, rng).bits, 16u * 3u);
+  EXPECT_EQ(exact_protocol_bits(16), 64u);
+  EXPECT_EQ(exact_protocol_bits(100), 700u);
+}
+
+TEST(Question2, InputValidation) {
+  Rng rng(6);
+  EXPECT_THROW(measure_prefix_protocol(8, 9, 10, rng), std::invalid_argument);
+  EXPECT_THROW(measure_hash_protocol(8, 0, 10, rng), std::invalid_argument);
+  EXPECT_THROW(measure_hash_protocol(8, 33, 10, rng), std::invalid_argument);
+}
+
+TEST(Question2, HashProtocolErrorIsOneSided) {
+  // Hash collisions only over-merge: the approximate join is always a
+  // coarsening of the truth, so the decision errs only in one direction
+  // (declaring join = 1 when it is not). Verify via direction counting.
+  Rng rng(7);
+  const std::size_t n = 10;
+  std::size_t false_ones = 0, false_zeros = 0;
+  for (int trial = 0; trial < 600; ++trial) {
+    const SetPartition pa = uniform_partition(n, rng);
+    const SetPartition pb = uniform_partition(n, rng);
+    const SetPartition truth = pa.join(pb);
+    std::vector<std::uint32_t> hash_of_block(pa.num_blocks());
+    for (auto& h : hash_of_block) h = static_cast<std::uint32_t>(rng.next_below(4));
+    std::vector<std::uint32_t> labels(n);
+    for (std::size_t i = 0; i < n; ++i) labels[i] = hash_of_block[pa.rgs()[i]];
+    const SetPartition approx = SetPartition::from_labels(labels).join(pb);
+    // The approximation is a coarsening of the truth.
+    EXPECT_TRUE(truth.refines(approx)) << trial;
+    if (approx.is_coarsest() && !truth.is_coarsest()) ++false_ones;
+    if (!approx.is_coarsest() && truth.is_coarsest()) ++false_zeros;
+  }
+  EXPECT_EQ(false_zeros, 0u);
+  EXPECT_GT(false_ones, 0u);
+}
+
+TEST(Question2, ErrorsVanishAtTheExactBudget) {
+  Rng rng(8);
+  for (std::size_t n : {8u, 12u}) {
+    const auto exact = measure_prefix_protocol(n, n, 300, rng);
+    EXPECT_DOUBLE_EQ(exact.decision_error, 0.0) << n;
+    EXPECT_DOUBLE_EQ(exact.join_error, 0.0) << n;
+    EXPECT_EQ(exact.bits, n * (n <= 8 ? 3u : 4u)) << n;
+  }
+}
+
+}  // namespace
+}  // namespace bcclb

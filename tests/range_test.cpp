@@ -1,0 +1,158 @@
+// Tests for the range-parameterized congested clique RCC(r, b) and the
+// embedded set-disjointness protocol (Becker et al., Section 1.3 context).
+#include <gtest/gtest.h>
+
+#include "bcc/algorithms/disjointness.h"
+#include "bcc/range_model.h"
+#include "common/random.h"
+#include "graph/generators.h"
+
+namespace bcclb {
+namespace {
+
+DisjointnessInput random_input(std::size_t n, double density, Rng& rng) {
+  DisjointnessInput in;
+  in.a.resize(n - 2);
+  in.b.resize(n - 2);
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    in.a[k] = rng.next_bernoulli(density);
+    in.b[k] = rng.next_bernoulli(density);
+  }
+  return in;
+}
+
+RangeRunResult run_disjointness(const DisjointnessInput& in, std::size_t n, unsigned r,
+                                unsigned b) {
+  const BccInstance inst = BccInstance::kt1(Graph(n));
+  RangeSimulator sim(inst, r, b);
+  return sim.run(disjointness_factory(in, r), DisjointnessAlgorithm::rounds_needed(n, r, b) + 2);
+}
+
+TEST(RangeSimulator, EnforcesRangeBudget) {
+  // An algorithm that sends two distinct values under r = 1 must be rejected.
+  class TwoValues final : public RangeVertexAlgorithm {
+   public:
+    void init(const LocalView& view) override { n_ = view.n; }
+    std::vector<Message> send(unsigned) override {
+      std::vector<Message> out(n_ - 1, Message::one_bit(false));
+      out[0] = Message::one_bit(true);
+      return out;
+    }
+    void receive(unsigned, std::span<const Message>) override {}
+    bool finished() const override { return false; }
+    bool decide() const override { return true; }
+
+   private:
+    std::size_t n_ = 0;
+  };
+  const BccInstance inst = BccInstance::kt1(Graph(5));
+  RangeSimulator sim(inst, 1, 1);
+  EXPECT_THROW(sim.run([] { return std::make_unique<TwoValues>(); }, 1),
+               std::invalid_argument);
+  RangeSimulator sim2(inst, 2, 1);
+  EXPECT_NO_THROW(sim2.run([] { return std::make_unique<TwoValues>(); }, 1));
+}
+
+TEST(RangeSimulator, EnforcesBandwidth) {
+  class Wide final : public RangeVertexAlgorithm {
+   public:
+    void init(const LocalView& view) override { n_ = view.n; }
+    std::vector<Message> send(unsigned) override {
+      return std::vector<Message>(n_ - 1, Message::bits(3, 2));
+    }
+    void receive(unsigned, std::span<const Message>) override {}
+    bool finished() const override { return false; }
+    bool decide() const override { return true; }
+
+   private:
+    std::size_t n_ = 0;
+  };
+  const BccInstance inst = BccInstance::kt1(Graph(4));
+  RangeSimulator sim(inst, 1, 1);
+  EXPECT_THROW(sim.run([] { return std::make_unique<Wide>(); }, 1), std::invalid_argument);
+}
+
+TEST(RangeSimulator, ValidatesParameters) {
+  const BccInstance inst = BccInstance::kt1(Graph(4));
+  EXPECT_THROW(RangeSimulator(inst, 0, 1), std::invalid_argument);
+  EXPECT_THROW(RangeSimulator(inst, 4, 1), std::invalid_argument);  // r > n-1
+  EXPECT_THROW(RangeSimulator(inst, 1, 0), std::invalid_argument);
+}
+
+struct DisjCase {
+  std::size_t n;
+  unsigned r;
+  unsigned b;
+};
+
+class DisjointnessSweep : public ::testing::TestWithParam<DisjCase> {};
+
+TEST_P(DisjointnessSweep, CorrectAcrossInputs) {
+  const auto [n, r, b] = GetParam();
+  Rng rng(n * 100 + r * 10 + b);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto in = random_input(n, 0.15, rng);
+    const auto res = run_disjointness(in, n, r, b);
+    EXPECT_TRUE(res.all_finished);
+    EXPECT_EQ(res.decision, sets_disjoint(in)) << "n=" << n << " r=" << r << " b=" << b;
+    EXPECT_EQ(res.rounds_executed, DisjointnessAlgorithm::rounds_needed(n, r, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, DisjointnessSweep,
+    ::testing::Values(DisjCase{10, 1, 1}, DisjCase{10, 4, 1}, DisjCase{10, 9, 1},
+                      DisjCase{18, 1, 2}, DisjCase{18, 4, 2}, DisjCase{18, 17, 4},
+                      DisjCase{34, 1, 4}, DisjCase{34, 8, 4}));
+
+TEST(Disjointness, EdgeCases) {
+  const std::size_t n = 12;
+  DisjointnessInput all_full;
+  all_full.a.assign(n - 2, true);
+  all_full.b.assign(n - 2, true);
+  EXPECT_FALSE(run_disjointness(all_full, n, 2, 2).decision);
+
+  DisjointnessInput empty;
+  empty.a.assign(n - 2, false);
+  empty.b.assign(n - 2, false);
+  EXPECT_TRUE(run_disjointness(empty, n, 2, 2).decision);
+
+  // Single shared element at the boundary of the last group.
+  DisjointnessInput one;
+  one.a.assign(n - 2, false);
+  one.b.assign(n - 2, false);
+  one.a[n - 3] = one.b[n - 3] = true;
+  EXPECT_FALSE(run_disjointness(one, n, 3, 2).decision);
+}
+
+TEST(Disjointness, RangeSpeedsUpRounds) {
+  // Becker et al.'s phenomenon: rounds ~ ceil(m / (r b)) + 2.
+  const std::size_t n = 66;  // m = 64
+  const unsigned b = 2;
+  unsigned prev = UINT32_MAX;
+  for (unsigned r : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const unsigned rounds = DisjointnessAlgorithm::rounds_needed(n, r, b);
+    EXPECT_EQ(rounds, 64 / (r * b) + 2);
+    EXPECT_LT(rounds, prev);
+    prev = rounds;
+  }
+  // r = 1 is the BCC regime: Θ(n / b) rounds.
+  EXPECT_EQ(DisjointnessAlgorithm::rounds_needed(n, 1, b), 34u);
+  // r = n - 1 is the CC regime: O(1) rounds.
+  EXPECT_EQ(DisjointnessAlgorithm::rounds_needed(n, 65, b), 3u);
+}
+
+TEST(Disjointness, BitAccountingCountsDistinctValuesOnce) {
+  const std::size_t n = 10;
+  Rng rng(3);
+  const auto in = random_input(n, 0.3, rng);
+  const auto res = run_disjointness(in, n, 8, 2);
+  // Phase 1 (1 round at r=8, b=2, m=8: 4 groups): <= 4 distinct messages of
+  // 2 bits; phase 2: helpers send <= 2 distinct 1-bit values... total stays
+  // far below n^2 * b.
+  EXPECT_GT(res.total_bits_sent, 0u);
+  EXPECT_LT(res.total_bits_sent, 200u);
+}
+
+}  // namespace
+}  // namespace bcclb

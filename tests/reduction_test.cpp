@@ -1,0 +1,137 @@
+// Tests for the Figure 2 reductions and Theorem 4.3.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/reduction.h"
+#include "graph/cycle_structure.h"
+#include "graph/components.h"
+#include "partition/enumeration.h"
+#include "partition/pair_partition.h"
+#include "partition/sampling.h"
+
+namespace bcclb {
+namespace {
+
+SetPartition from_blocks(std::size_t n, std::vector<std::vector<std::uint32_t>> blocks) {
+  return SetPartition::from_blocks(n, blocks);
+}
+
+TEST(PartitionReduction, PaperLeftFigureExample) {
+  // Figure 2 (left): PA = (1,2,3)(4,5,6)(7,8), PB = (1,2,6)(3,4,7)(5,8).
+  const auto pa = from_blocks(8, {{0, 1, 2}, {3, 4, 5}, {6, 7}});
+  const auto pb = from_blocks(8, {{0, 1, 5}, {2, 3, 6}, {4, 7}});
+  const PartitionReduction red = build_partition_reduction(pa, pb);
+  EXPECT_EQ(red.graph.num_vertices(), 32u);
+  // Spine edges.
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_TRUE(red.graph.has_edge(red.l(i), red.r(i)));
+  // Alice's first part connects a_1 to l_1, l_2, l_3.
+  EXPECT_TRUE(red.graph.has_edge(red.a(0), red.l(0)));
+  EXPECT_TRUE(red.graph.has_edge(red.a(0), red.l(1)));
+  EXPECT_TRUE(red.graph.has_edge(red.a(0), red.l(2)));
+  // Helper a_4..a_8 attach to l* = l_8.
+  for (std::size_t k = 3; k < 8; ++k) {
+    EXPECT_TRUE(red.graph.has_edge(red.a(k), red.l(7)));
+  }
+  // Theorem 4.3: components on L = PA ∨ PB. Here the join chains everything:
+  // (1,2,3)+(1,2,6) joins {1,2,3,6}; +(4,5,6) joins 4,5; +(3,4,7)... all one.
+  EXPECT_EQ(red.components_on_l(), pa.join(pb));
+  EXPECT_TRUE(pa.join(pb).is_coarsest());
+  EXPECT_TRUE(is_connected(red.graph));
+}
+
+TEST(PartitionReduction, DisconnectedWhenJoinIsNotOne) {
+  // PA = PB = (1,2)(3,4): join has two parts; graph must be disconnected.
+  const auto p = from_blocks(4, {{0, 1}, {2, 3}});
+  const PartitionReduction red = build_partition_reduction(p, p);
+  EXPECT_FALSE(p.join(p).is_coarsest());
+  EXPECT_FALSE(is_connected(red.graph));
+  EXPECT_EQ(red.components_on_l(), p);
+}
+
+class Theorem43 : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Theorem43, ComponentsOnLEqualJoinExhaustively) {
+  const std::size_t n = GetParam();
+  const auto parts = all_partitions(n);
+  for (const auto& pa : parts) {
+    for (const auto& pb : parts) {
+      const PartitionReduction red = build_partition_reduction(pa, pb);
+      EXPECT_EQ(red.components_on_l(), pa.join(pb))
+          << pa.to_string() << " vs " << pb.to_string();
+      EXPECT_EQ(is_connected(red.graph), pa.join(pb).is_coarsest());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallGrounds, Theorem43, ::testing::Values(2, 3, 4));
+
+TEST(PartitionReduction, RandomLargeSweep) {
+  Rng rng(13);
+  for (int trial = 0; trial < 25; ++trial) {
+    const SetPartition pa = uniform_partition(20, rng);
+    const SetPartition pb = uniform_partition(20, rng);
+    const PartitionReduction red = build_partition_reduction(pa, pb);
+    EXPECT_EQ(red.components_on_l(), pa.join(pb));
+    // Rows R and L see the same partition (Theorem 4.3 statement).
+    const auto labels = component_labels(red.graph);
+    std::vector<std::uint32_t> on_r(20);
+    for (std::size_t i = 0; i < 20; ++i) on_r[i] = labels[red.r(i)];
+    EXPECT_EQ(SetPartition::from_labels(on_r), pa.join(pb));
+  }
+}
+
+TEST(TwoPartitionReduction, PaperRightFigureExample) {
+  // Figure 2 (right): PA = (1,2)(3,4)(5,6)(7,8), PB = (1,3)(2,4)(5,7)(6,8).
+  const auto pa = from_blocks(8, {{0, 1}, {2, 3}, {4, 5}, {6, 7}});
+  const auto pb = from_blocks(8, {{0, 2}, {1, 3}, {4, 6}, {5, 7}});
+  const TwoPartitionReduction red = build_two_partition_reduction(pa, pb);
+  EXPECT_EQ(red.graph.num_vertices(), 16u);
+  EXPECT_TRUE(red.graph.is_regular(2));
+  EXPECT_GE(red.shortest_cycle(), 4u);
+  // Join: {1,2,3,4} and {5,6,7,8} — two components, disconnected MultiCycle.
+  EXPECT_EQ(red.components_on_l(), pa.join(pb));
+  EXPECT_FALSE(is_connected(red.graph));
+  EXPECT_EQ(num_components(red.graph), 2u);
+}
+
+TEST(TwoPartitionReduction, ExhaustiveTheorem43OnMatchings) {
+  const auto matchings = all_perfect_matchings(6);
+  for (const auto& pa : matchings) {
+    for (const auto& pb : matchings) {
+      const TwoPartitionReduction red = build_two_partition_reduction(pa, pb);
+      EXPECT_TRUE(red.graph.is_regular(2));
+      EXPECT_GE(red.shortest_cycle(), 4u);
+      EXPECT_EQ(red.components_on_l(), pa.join(pb));
+      EXPECT_EQ(is_connected(red.graph), pa.join(pb).is_coarsest());
+    }
+  }
+}
+
+TEST(TwoPartitionReduction, EveryCycleHasEvenLengthAtLeastFour) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const SetPartition pa = random_perfect_matching(12, rng);
+    const SetPartition pb = random_perfect_matching(12, rng);
+    const TwoPartitionReduction red = build_two_partition_reduction(pa, pb);
+    const auto cs = CycleStructure::from_graph(red.graph);
+    for (const auto& cycle : cs.cycles()) {
+      EXPECT_GE(cycle.size(), 4u);
+      EXPECT_EQ(cycle.size() % 2, 0u);  // alternates L/R spine and matching edges
+    }
+  }
+}
+
+TEST(TwoPartitionReduction, RejectsNonMatchingInputs) {
+  EXPECT_THROW(
+      build_two_partition_reduction(SetPartition::coarsest(4), SetPartition::coarsest(4)),
+      std::invalid_argument);
+}
+
+TEST(PartitionReduction, MismatchedGroundSetsRejected) {
+  EXPECT_THROW(
+      build_partition_reduction(SetPartition::coarsest(3), SetPartition::coarsest(4)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bcclb

@@ -1,0 +1,221 @@
+// bcclb — command-line front end to the laboratory's engines.
+//
+// Subcommands (run `bcclb help` for the synopsis):
+//   counts <n>                 instance-space sizes and the Lemma 3.9 ratio
+//   star <n> <t> <adversary>   Theorem 3.5 star-distribution experiment
+//   kt0 <n> <t> <adversary>    Theorem 3.1 matching experiment (n <= 9)
+//   rules <n> <t> <adversary>  E17 decision-rule optimization (n <= 9)
+//   rank <n>                   Theorem 2.3 / Lemma 4.1 join-matrix ranks
+//   info <n> [keep]            Theorem 4.5 information experiment (n <= 10)
+//   reduce <n> [seed]          Figure 2 pipeline on random partitions
+//   upper <n> <b> [seed]       tightness sweep (flood / Boruvka / sketches)
+//   bfs <n> <p> [seed]         CONGEST BFS distances and eccentricity
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bcc_lb.h"
+#include "common/mathutil.h"
+
+using namespace bcclb;
+
+namespace {
+
+AdversaryKind parse_adversary(const char* name) {
+  for (const AdversaryKind kind : all_adversary_kinds()) {
+    if (std::strcmp(name, adversary_kind_name(kind)) == 0) return kind;
+  }
+  std::fprintf(stderr, "unknown adversary '%s'; options:", name);
+  for (const AdversaryKind kind : all_adversary_kinds()) {
+    std::fprintf(stderr, " %s", adversary_kind_name(kind));
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+int cmd_counts(std::size_t n) {
+  std::printf("|V1| (one-cycle structures) = %s\n",
+              count_one_cycle_structures(n).to_decimal().c_str());
+  std::printf("|V2| (two-cycle structures) = %s\n",
+              count_two_cycle_structures(n).to_decimal().c_str());
+  std::printf("ratio = %.6f, H(n/2) - 3/2 = %.6f  (Lemma 3.9: Theta(log n))\n",
+              two_to_one_cycle_ratio(n), harmonic(n / 2) - 1.5);
+  return 0;
+}
+
+int cmd_star(std::size_t n, unsigned t, AdversaryKind kind) {
+  const PublicCoins coins(1, 4096);
+  const auto rep = star_error_experiment(
+      n, t, two_cycle_adversary_factory(kind, t, always_yes_rule()), &coins);
+  std::printf("|S| = %zu, largest class |S'| = %zu (pigeonhole floor %.3f)\n",
+              rep.independent_set_size, rep.largest_class_size, rep.pigeonhole_floor);
+  std::printf("forced error = %.6f (theory floor %.6f)\n", rep.forced_error, rep.theory_floor);
+  std::printf("crossings verified indistinguishable: %zu/%zu\n", rep.crossings_verified,
+              rep.crossings_checked);
+  return 0;
+}
+
+int cmd_kt0(std::size_t n, unsigned t, AdversaryKind kind) {
+  const PublicCoins coins(1, 4096);
+  const auto rep = kt0_matching_experiment(
+      n, t, two_cycle_adversary_factory(kind, t, always_yes_rule()), &coins);
+  std::printf("|V1| = %zu, |V2| = %zu (ratio %.4f, prediction %.4f)\n", rep.v1, rep.v2,
+              rep.size_ratio, rep.harmonic_prediction);
+  std::printf("best label (x|y) = %s, graph edges = %zu\n", rep.best_label.c_str(),
+              rep.graph_edges);
+  std::printf("max matching = %zu, max saturating k = %u\n", rep.max_matching,
+              rep.max_saturating_k);
+  std::printf("certified error >= %.6f, measured error = %.6f\n", rep.matching_error_bound,
+              rep.measured_error);
+  return 0;
+}
+
+int cmd_rules(std::size_t n, unsigned t, AdversaryKind kind) {
+  const PublicCoins coins(1, 4096);
+  const auto rep = optimize_decision_rule(
+      n, t, two_cycle_adversary_factory(kind, t, always_yes_rule()), &coins);
+  std::printf("states = %zu, voting NO = %zu\n", rep.num_states, rep.states_voting_no);
+  std::printf("greedy-optimized error = %.6f (always-YES = %.2f)\n", rep.greedy_error,
+              rep.always_yes_error);
+  return 0;
+}
+
+int cmd_rank(std::size_t n) {
+  if (n <= 8) {
+    const auto r = partition_matrix_rank(n);
+    std::printf("rank(M_%zu) = %zu / %zu (%s) — log-rank bound %.2f bits\n", n,
+                std::max(r.rank_gf2, r.rank_modp), r.dimension,
+                r.full_rank ? "full" : "NOT FULL", r.log_rank_bound());
+  } else {
+    std::printf("rank(M_%zu) = B_%zu (Theorem 2.3): bound = log2(B_n) = %.1f bits\n", n, n,
+                partition_cc_lower_bound(n));
+  }
+  if (n % 2 == 0 && n <= 12) {
+    const auto r = two_partition_matrix_rank(n);
+    std::printf("rank(E_%zu) = %zu / %zu (%s)\n", n, std::max(r.rank_gf2, r.rank_modp),
+                r.dimension, r.full_rank ? "full" : "NOT FULL");
+  }
+  return 0;
+}
+
+int cmd_info(std::size_t n, double keep) {
+  const auto r = partition_comp_information(n, keep);
+  std::printf("H(PA) = %.3f bits, realized error = %.3f\n", r.h_pa, r.realized_error);
+  std::printf("I(PA; Pi) = %.3f >= (1-eps)H - 1 = %.3f  (Theorem 4.5)\n",
+              r.mutual_information, r.fano_floor);
+  std::printf("implied BCC(1) ConnectedComponents rounds >= %.3f\n", r.implied_bcc_rounds);
+  return 0;
+}
+
+int cmd_reduce(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  const SetPartition pa = uniform_partition(n, rng);
+  const SetPartition pb = uniform_partition(n, rng);
+  std::printf("PA      = %s\nPB      = %s\n", pa.to_string().c_str(), pb.to_string().c_str());
+  std::printf("PA v PB = %s\n", pa.join(pb).to_string().c_str());
+  const auto out = solve_partition_via_bcc(pa, pb, boruvka_factory(), 6, 800);
+  std::printf("BCC decided %s in %u rounds, %llu protocol bits\n",
+              out.sim.decision ? "CONNECTED" : "DISCONNECTED", out.sim.bcc_rounds,
+              static_cast<unsigned long long>(out.sim.total_bits()));
+  std::printf("recovered join %s the lattice join\n",
+              out.recovered_join && *out.recovered_join == out.expected_join ? "matches"
+                                                                             : "MISMATCHES");
+  return 0;
+}
+
+int cmd_upper(std::size_t n, unsigned b, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto p = measure_upper_bounds(random_one_cycle(n, rng).to_graph(), b, "one-cycle", seed);
+  std::printf("one-cycle n=%zu b=%u:\n", n, b);
+  if (p.flood_ran) {
+    std::printf("  flooding : %u rounds (%s)\n", p.flood_rounds, p.flood_correct ? "ok" : "WRONG");
+  }
+  std::printf("  boruvka  : %u rounds (%s)\n", p.boruvka_rounds,
+              p.boruvka_correct ? "ok" : "WRONG");
+  if (p.sketch_ran) {
+    std::printf("  sketches : %u rounds, %llu bits/vertex (%s)\n", p.sketch_rounds,
+                static_cast<unsigned long long>(p.sketch_bits_per_vertex),
+                p.sketch_correct ? "ok" : "MC-miss");
+  }
+  std::printf("  lower-bound reference log2(n)/b = %.2f\n", p.lower_bound_rounds);
+  return 0;
+}
+
+int cmd_bfs(std::size_t n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  const Graph g = random_gnp(n, p, rng);
+  const BfsRun out = run_congest_bfs(g, 0);
+  std::size_t reached = 0;
+  for (const auto& d : out.distances) {
+    if (d.has_value()) ++reached;
+  }
+  std::printf("CONGEST BFS from 0 on G(%zu, %.3f): %u rounds, reached %zu/%zu,\n",
+              n, p, out.run.rounds_executed, reached, n);
+  std::printf("eccentricity %u (rounds = ecc + O(1): distances cost Theta(D))\n",
+              out.eccentricity);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bcclb <command> [args]\n"
+               "  counts <n>\n"
+               "  star   <n> <t> <adversary>\n"
+               "  kt0    <n> <t> <adversary>   (6 <= n <= 9)\n"
+               "  rules  <n> <t> <adversary>   (6 <= n <= 9)\n"
+               "  rank   <n>\n"
+               "  info   <n> [keep=1.0]        (n <= 10)\n"
+               "  reduce <n> [seed=1]\n"
+               "  upper  <n> <b> [seed=1]\n"
+               "  bfs    <n> <p> [seed=1]\n"
+               "adversaries: silent id-bits hashed-id coin-xor-id port-parity echo\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "counts" && argc >= 3) return cmd_counts(std::strtoul(argv[2], nullptr, 10));
+    if (cmd == "star" && argc >= 5) {
+      return cmd_star(std::strtoul(argv[2], nullptr, 10),
+                      static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)),
+                      parse_adversary(argv[4]));
+    }
+    if (cmd == "kt0" && argc >= 5) {
+      return cmd_kt0(std::strtoul(argv[2], nullptr, 10),
+                     static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)),
+                     parse_adversary(argv[4]));
+    }
+    if (cmd == "rules" && argc >= 5) {
+      return cmd_rules(std::strtoul(argv[2], nullptr, 10),
+                       static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)),
+                       parse_adversary(argv[4]));
+    }
+    if (cmd == "rank" && argc >= 3) return cmd_rank(std::strtoul(argv[2], nullptr, 10));
+    if (cmd == "info" && argc >= 3) {
+      return cmd_info(std::strtoul(argv[2], nullptr, 10),
+                      argc >= 4 ? std::strtod(argv[3], nullptr) : 1.0);
+    }
+    if (cmd == "reduce" && argc >= 3) {
+      return cmd_reduce(std::strtoul(argv[2], nullptr, 10),
+                        argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 1);
+    }
+    if (cmd == "upper" && argc >= 4) {
+      return cmd_upper(std::strtoul(argv[2], nullptr, 10),
+                       static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)),
+                       argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 1);
+    }
+    if (cmd == "bfs" && argc >= 4) {
+      return cmd_bfs(std::strtoul(argv[2], nullptr, 10), std::strtod(argv[3], nullptr),
+                     argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 1);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
