@@ -104,6 +104,113 @@ void BM_SimulatorBoruvka(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorBoruvka)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
 
+// Seed-style reference round loop: fresh per-round message vectors, a fresh
+// per-run transcript sized to the cap, and per-vertex KT-1 table rebuilds —
+// the allocation profile RoundEngine was built to eliminate. Kept here (via
+// public APIs only) so BM_RoundEngineBoruvka has a stable baseline.
+RunResult reference_run(const BccInstance& instance, unsigned bandwidth,
+                        const AlgorithmFactory& factory, unsigned max_rounds) {
+  const std::size_t n = instance.num_vertices();
+  std::vector<std::unique_ptr<VertexAlgorithm>> vertices;
+  std::vector<Kt1ViewData> per_vertex_kt1;  // deliberately one rebuild per vertex
+  per_vertex_kt1.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    per_vertex_kt1.push_back(Kt1ViewData::build(instance));
+    auto alg = factory();
+    alg->init(make_local_view(instance, v, bandwidth, &per_vertex_kt1.back(), nullptr));
+    vertices.push_back(std::move(alg));
+  }
+  RunResult result;
+  result.transcript = Transcript(n, max_rounds);
+  unsigned t = 0;
+  for (; t < max_rounds; ++t) {
+    bool done = true;
+    for (const auto& v : vertices) done = done && v->finished();
+    if (done) break;
+    std::vector<Message> outbox(n, Message::silent());  // fresh every round
+    for (VertexId v = 0; v < n; ++v) {
+      outbox[v] = vertices[v]->broadcast(t);
+      result.transcript.record(v, t, outbox[v]);
+      result.total_bits_broadcast += outbox[v].num_bits();
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      std::vector<Message> inbox(n - 1);  // fresh every vertex
+      for (Port p = 0; p + 1 < n; ++p) inbox[p] = outbox[instance.wiring().peer(v, p)];
+      vertices[v]->receive(t, inbox);
+    }
+  }
+  result.rounds_executed = t;
+  result.transcript.truncate(t);
+  return result;
+}
+
+void BM_SeedStyleBoruvka(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const Graph g = random_one_cycle(n, rng).to_graph();
+  const BccInstance inst = BccInstance::kt1(g);
+  const unsigned b = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        reference_run(inst, b, boruvka_factory(), BoruvkaAlgorithm::max_rounds(n, b)));
+  }
+}
+BENCHMARK(BM_SeedStyleBoruvka)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_RoundEngineBoruvka(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const Graph g = random_one_cycle(n, rng).to_graph();
+  const BccInstance inst = BccInstance::kt1(g);
+  const unsigned b = 8;
+  RoundEngine engine;  // reused across iterations: the zero-allocation path
+  engine.reserve(n, BoruvkaAlgorithm::max_rounds(n, b));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.run(inst, b, boruvka_factory(), BoruvkaAlgorithm::max_rounds(n, b)));
+  }
+}
+BENCHMARK(BM_RoundEngineBoruvka)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+// Serial vs batched sweep: 64 independent Boruvka runs at n = 256 (the
+// experiment-harness workload shape). The serial loop still reuses one
+// engine — the batched variant's speedup on multi-core machines is pure
+// parallelism, not an allocation artifact. Thread count is the benchmark
+// argument; compare BatchSweep/1 against BatchSweep/<cores>.
+std::vector<BatchJob> sweep_jobs(std::size_t n, std::size_t count) {
+  Rng rng(12);
+  std::vector<BatchJob> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    jobs.push_back({BccInstance::kt1(random_one_cycle(n, rng).to_graph()), boruvka_factory(),
+                    8, BoruvkaAlgorithm::max_rounds(n, 8), CoinSpec::none()});
+  }
+  return jobs;
+}
+
+void BM_SerialSweep(benchmark::State& state) {
+  const auto jobs = sweep_jobs(256, 64);
+  RoundEngine engine;
+  for (auto _ : state) {
+    std::uint64_t bits = 0;
+    for (const BatchJob& job : jobs) {
+      bits += engine.run(job.instance, job.bandwidth, job.factory, job.max_rounds)
+                  .total_bits_broadcast;
+    }
+    benchmark::DoNotOptimize(bits);
+  }
+}
+BENCHMARK(BM_SerialSweep)->Unit(benchmark::kMillisecond);
+
+void BM_BatchSweep(benchmark::State& state) {
+  const auto jobs = sweep_jobs(256, 64);
+  const BatchRunner runner(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(jobs));
+  }
+}
+BENCHMARK(BM_BatchSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
 void BM_SketchUpdate(benchmark::State& state) {
   L0Sampler s({1u << 20, 7, 0});
   std::uint64_t i = 0;

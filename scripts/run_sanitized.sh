@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Builds the repository under a sanitizer and runs the tier-1 test suite.
+#
+# Usage:
+#   scripts/run_sanitized.sh [address|undefined|thread|address,undefined] [ctest args...]
+#
+# Default is `thread`, which exercises the BatchRunner / RoundEngine
+# concurrency paths (the determinism regression tests run with 1, 2 and 8
+# worker threads, so TSan sees real cross-thread schedules). Each sanitizer
+# gets its own build directory (build-san-<name>) so sanitized and plain
+# builds never share object files.
+set -euo pipefail
+
+SAN="${1:-thread}"
+shift || true
+
+case "$SAN" in
+  address|undefined|thread|address,undefined|undefined,address) ;;
+  *)
+    echo "error: unknown sanitizer '$SAN' (expected address, undefined, thread or address,undefined)" >&2
+    exit 2
+    ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-san-${SAN//,/-}"
+
+cmake -B "$BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBCCLB_SANITIZE="$SAN"
+cmake --build "$BUILD" -j "$(nproc)"
+
+# Surface every report and fail the run on the first one.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+
+cd "$BUILD"
+ctest --output-on-failure -j "$(nproc)" "$@"

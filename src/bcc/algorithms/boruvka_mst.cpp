@@ -13,7 +13,7 @@ namespace {
 
 constexpr unsigned kWeightBits = 16;
 
-std::uint32_t rank_of(const std::vector<std::uint64_t>& sorted_ids, std::uint64_t id) {
+std::uint32_t rank_of(std::span<const std::uint64_t> sorted_ids, std::uint64_t id) {
   const auto it = std::lower_bound(sorted_ids.begin(), sorted_ids.end(), id);
   BCCLB_CHECK(it != sorted_ids.end() && *it == id, "id not found");
   return static_cast<std::uint32_t>(it - sorted_ids.begin());

@@ -36,18 +36,22 @@ void Kt0BootstrapAlgorithm::receive(unsigned round, std::span<const Message> inb
   if (round < announce_rounds_) {
     for (Port p = 0; p + 1 < view_.n; ++p) rx_[p].add(inbox[p]);
     if (round + 1 == announce_rounds_) {
-      // Synthesize the KT-1 view and hand off.
+      // Synthesize the KT-1 view and hand off. The learned tables live in
+      // this object so the view's spans stay valid for the inner algorithm's
+      // whole life.
       const unsigned w = std::max(1u, ceil_log2(view_.n));
-      LocalView kt1 = view_;
-      kt1.mode = KnowledgeMode::kKT1;
-      kt1.port_peer_ids.clear();
+      learned_port_ids_.clear();
       for (Port p = 0; p + 1 < view_.n; ++p) {
         BCCLB_CHECK(rx_[p].size_bits() >= w, "announcement truncated");
-        kt1.port_peer_ids.push_back(rx_[p].bits_as_word(0, w));
+        learned_port_ids_.push_back(rx_[p].bits_as_word(0, w));
       }
-      kt1.all_ids = kt1.port_peer_ids;
-      kt1.all_ids.push_back(view_.id);
-      std::sort(kt1.all_ids.begin(), kt1.all_ids.end());
+      learned_all_ids_ = learned_port_ids_;
+      learned_all_ids_.push_back(view_.id);
+      std::sort(learned_all_ids_.begin(), learned_all_ids_.end());
+      LocalView kt1 = view_;
+      kt1.mode = KnowledgeMode::kKT1;
+      kt1.port_peer_ids = learned_port_ids_;
+      kt1.all_ids = learned_all_ids_;
       inner_ = inner_factory_();
       inner_->init(kt1);
     }

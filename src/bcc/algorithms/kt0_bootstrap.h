@@ -37,6 +37,10 @@ class Kt0BootstrapAlgorithm final : public VertexAlgorithm {
   unsigned announce_rounds_ = 0;
   BitQueue tx_;
   std::vector<BitAccumulator> rx_;  // per port
+  // Backing storage for the synthesized KT-1 view's spans (the learned IDs
+  // exist nowhere else — the engine only shares tables it computed itself).
+  std::vector<std::uint64_t> learned_port_ids_;
+  std::vector<std::uint64_t> learned_all_ids_;
   std::unique_ptr<VertexAlgorithm> inner_;
 };
 

@@ -10,7 +10,7 @@ namespace bcclb {
 
 namespace {
 
-std::uint32_t rank_of(const std::vector<std::uint64_t>& sorted_ids, std::uint64_t id) {
+std::uint32_t rank_of(std::span<const std::uint64_t> sorted_ids, std::uint64_t id) {
   const auto it = std::lower_bound(sorted_ids.begin(), sorted_ids.end(), id);
   BCCLB_CHECK(it != sorted_ids.end() && *it == id, "id not found in global ID list");
   return static_cast<std::uint32_t>(it - sorted_ids.begin());

@@ -1,0 +1,83 @@
+#include "bcc/batch_runner.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+BatchRunner::BatchRunner(unsigned num_threads)
+    : threads_(num_threads == 0 ? default_threads() : num_threads) {}
+
+unsigned BatchRunner::default_threads() {
+  if (const char* env = std::getenv("BCCLB_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1 && parsed <= 256) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void BatchRunner::for_each_with_engine(
+    std::size_t count, const std::function<void(std::size_t, RoundEngine&)>& body) const {
+  if (count == 0) return;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, count));
+
+  if (workers <= 1) {
+    // Inline fast path: no pool, one engine, ascending order.
+    RoundEngine engine;
+    for (std::size_t i = 0; i < count; ++i) body(i, engine);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(count);
+  std::atomic<bool> failed{false};
+
+  auto worker = [&] {
+    RoundEngine engine;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i, engine);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  if (failed.load(std::memory_order_relaxed)) {
+    // Deterministic error reporting: the lowest failing index wins, matching
+    // what a serial loop would have thrown first.
+    for (std::size_t i = 0; i < count; ++i) {
+      if (errors[i]) std::rethrow_exception(errors[i]);
+    }
+  }
+}
+
+void BatchRunner::for_each(std::size_t count,
+                           const std::function<void(std::size_t)>& body) const {
+  for_each_with_engine(count, [&body](std::size_t i, RoundEngine&) { body(i); });
+}
+
+std::vector<RunResult> BatchRunner::run(const std::vector<BatchJob>& jobs) const {
+  std::vector<RunResult> results(jobs.size());
+  for_each_with_engine(jobs.size(), [&](std::size_t i, RoundEngine& engine) {
+    const BatchJob& job = jobs[i];
+    results[i] = engine.run(job.instance, job.bandwidth, job.factory, job.max_rounds, job.coins);
+  });
+  return results;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,66 @@
+// Parallel execution of independent BCC runs.
+//
+// The lower-bound experiments sweep thousands of *independent* instances
+// (every crossing of an edge pair, every cycle structure, every set
+// partition). BatchRunner fans a batch of such jobs across a std::thread
+// pool in which every worker owns one reusable RoundEngine, and stores each
+// result at its job's index — so serial and parallel execution produce
+// bit-identical transcripts, decisions and bit counts in the same order, for
+// any thread count. Determinism holds because jobs share no mutable state:
+// randomness comes from per-job seeds or a read-only public-coin string, and
+// nothing about scheduling feeds back into a run.
+//
+// Exceptions thrown by a job are captured and rethrown on the calling thread
+// for the lowest-indexed failing job, after all workers have drained.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "bcc/round_engine.h"
+
+namespace bcclb {
+
+// One independent simulator run.
+struct BatchJob {
+  BccInstance instance;
+  AlgorithmFactory factory;
+  unsigned bandwidth = 1;
+  unsigned max_rounds = 0;
+  CoinSpec coins{};
+};
+
+class BatchRunner {
+ public:
+  // 0 threads = default_threads(). The pool is created per call (the runs
+  // dwarf thread start-up for every sweep in the repository); the object is
+  // just the configured width, so it is freely copyable and shareable.
+  explicit BatchRunner(unsigned num_threads = 0);
+
+  // BCCLB_THREADS environment override, else std::thread::hardware_concurrency.
+  static unsigned default_threads();
+
+  unsigned num_threads() const { return threads_; }
+
+  // Runs every job; results[i] is job i's result regardless of which worker
+  // executed it or in what order.
+  std::vector<RunResult> run(const std::vector<BatchJob>& jobs) const;
+
+  // Generic deterministic parallel-for over [0, count): `body(i)` must write
+  // only to index-i slots of caller-owned storage. This is what engines use
+  // for sweeps that are not plain simulator runs (two-party simulations,
+  // crossing construction + run, signature extraction).
+  void for_each(std::size_t count, const std::function<void(std::size_t)>& body) const;
+
+  // As for_each, but hands the body its worker's private RoundEngine so
+  // simulator-heavy sweeps reuse buffers across jobs.
+  void for_each_with_engine(
+      std::size_t count,
+      const std::function<void(std::size_t, RoundEngine&)>& body) const;
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace bcclb

@@ -57,4 +57,36 @@ std::vector<Port> BccInstance::input_ports(VertexId v) const {
   return ports;
 }
 
+Kt1ViewData Kt1ViewData::build(const BccInstance& instance) {
+  const std::size_t n = instance.num_vertices();
+  Kt1ViewData data;
+  data.ports = n - 1;
+  data.sorted_ids.reserve(n);
+  for (VertexId u = 0; u < n; ++u) data.sorted_ids.push_back(instance.id_of(u));
+  std::sort(data.sorted_ids.begin(), data.sorted_ids.end());
+  data.port_peer_ids.reserve(n * (n - 1));
+  for (VertexId v = 0; v < n; ++v) {
+    const std::vector<VertexId>& row = instance.wiring().tables()[v];
+    for (Port p = 0; p + 1 < n; ++p) data.port_peer_ids.push_back(instance.id_of(row[p]));
+  }
+  return data;
+}
+
+LocalView make_local_view(const BccInstance& instance, VertexId v, unsigned bandwidth,
+                          const Kt1ViewData* kt1, const PublicCoins* coins) {
+  LocalView view;
+  view.n = instance.num_vertices();
+  view.bandwidth = bandwidth;
+  view.mode = instance.mode();
+  view.id = instance.id_of(v);
+  view.input_ports = instance.input_ports(v);
+  view.coins = coins;
+  if (instance.mode() == KnowledgeMode::kKT1) {
+    BCCLB_CHECK(kt1 != nullptr, "KT-1 view requires shared Kt1ViewData");
+    view.all_ids = kt1->ids();
+    view.port_peer_ids = kt1->ports_of(v);
+  }
+  return view;
+}
+
 }  // namespace bcclb

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "bcc/wiring.h"
@@ -52,6 +54,12 @@ class BccInstance {
 };
 
 // Everything a vertex is allowed to see at time 0 (plus the public coins).
+//
+// The KT-1 tables are spans: the n vertices of one run all see the same
+// sorted ID list, so the driver computes it once (and one flat port->peer-ID
+// table) and every view aliases that shared storage instead of owning n
+// copies. Whoever builds a LocalView must keep the backing alive for as long
+// as the algorithm may read the view (RunResult carries it for engine runs).
 struct LocalView {
   std::size_t n = 0;
   unsigned bandwidth = 1;
@@ -59,10 +67,32 @@ struct LocalView {
   std::uint64_t id = 0;
   std::vector<Port> input_ports;
   // KT-1 only; empty in KT-0.
-  std::vector<std::uint64_t> all_ids;
-  std::vector<std::uint64_t> port_peer_ids;  // port_peer_ids[p] = ID behind port p
+  std::span<const std::uint64_t> all_ids;
+  std::span<const std::uint64_t> port_peer_ids;  // port_peer_ids[p] = ID behind port p
   // Shared public random string; nullptr for deterministic algorithms.
   const PublicCoins* coins = nullptr;
 };
+
+// The shared KT-1 initial knowledge of one instance: the sorted ID list and
+// a flat [v * (n-1) + p] -> ID-behind-port-p table, computed once per run
+// instead of once per vertex (the sort alone is O(n log n); rebuilding it n
+// times made view construction O(n^2 log n)).
+struct Kt1ViewData {
+  std::vector<std::uint64_t> sorted_ids;
+  std::vector<std::uint64_t> port_peer_ids;  // flat, row v at v * (n - 1)
+  std::size_t ports = 0;                     // n - 1
+
+  static Kt1ViewData build(const BccInstance& instance);
+
+  std::span<const std::uint64_t> ids() const { return sorted_ids; }
+  std::span<const std::uint64_t> ports_of(VertexId v) const {
+    return std::span<const std::uint64_t>(port_peer_ids).subspan(v * ports, ports);
+  }
+};
+
+// Builds the view of vertex v. `kt1` supplies the shared KT-1 tables and must
+// be non-null iff the instance is KT-1; it must outlive every use of the view.
+LocalView make_local_view(const BccInstance& instance, VertexId v, unsigned bandwidth,
+                          const Kt1ViewData* kt1, const PublicCoins* coins);
 
 }  // namespace bcclb

@@ -17,23 +17,16 @@ RangeSimulator::RangeSimulator(BccInstance instance, unsigned range, unsigned ba
 RangeRunResult RangeSimulator::run(const RangeAlgorithmFactory& factory,
                                    unsigned max_rounds) const {
   const std::size_t n = instance_.num_vertices();
+  // Shared KT-1 knowledge, computed once for all n vertices.
+  const Kt1ViewData kt1 = instance_.mode() == KnowledgeMode::kKT1
+                              ? Kt1ViewData::build(instance_)
+                              : Kt1ViewData{};
   std::vector<std::unique_ptr<RangeVertexAlgorithm>> vertices;
   vertices.reserve(n);
   for (VertexId v = 0; v < n; ++v) {
-    LocalView view;
-    view.n = n;
-    view.bandwidth = bandwidth_;
-    view.mode = instance_.mode();
-    view.id = instance_.id_of(v);
-    view.input_ports = instance_.input_ports(v);
-    view.coins = coins_;
-    if (instance_.mode() == KnowledgeMode::kKT1) {
-      for (VertexId u = 0; u < n; ++u) view.all_ids.push_back(instance_.id_of(u));
-      std::sort(view.all_ids.begin(), view.all_ids.end());
-      for (Port p = 0; p + 1 < n; ++p) {
-        view.port_peer_ids.push_back(instance_.id_of(instance_.wiring().peer(v, p)));
-      }
-    }
+    const LocalView view = make_local_view(
+        instance_, v, bandwidth_,
+        instance_.mode() == KnowledgeMode::kKT1 ? &kt1 : nullptr, coins_);
     auto alg = factory();
     alg->init(view);
     vertices.push_back(std::move(alg));

@@ -1,0 +1,161 @@
+#include "bcc/round_engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bcclb {
+
+namespace {
+
+// Clears per-run state on scope exit so a mid-round throw (bandwidth
+// violation) cannot leave stale vertices or a stuck reentrancy flag behind;
+// the engine is immediately reusable after an exception.
+struct RunGuard {
+  bool* running;
+  std::vector<std::unique_ptr<VertexAlgorithm>>* vertices;
+  ~RunGuard() {
+    vertices->clear();
+    *running = false;
+  }
+};
+
+}  // namespace
+
+void RoundEngine::reserve(std::size_t n, unsigned expected_rounds) {
+  if (n == 0) return;
+  outbox_.reserve(n);
+  inbox_.reserve(n - 1);
+  peer_flat_.reserve(n * (n - 1));
+  sent_staging_.reserve(static_cast<std::size_t>(expected_rounds) * n);
+  vertices_.reserve(n);
+}
+
+std::size_t RoundEngine::buffer_bytes() const {
+  return outbox_.capacity() * sizeof(Message) + inbox_.capacity() * sizeof(Message) +
+         peer_flat_.capacity() * sizeof(std::uint32_t) +
+         sent_staging_.capacity() * sizeof(Message) +
+         vertices_.capacity() * sizeof(std::unique_ptr<VertexAlgorithm>);
+}
+
+RunResult RoundEngine::run(const BccInstance& instance, unsigned bandwidth,
+                           const AlgorithmFactory& factory, unsigned max_rounds,
+                           const CoinSpec& coins) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t n = instance.num_vertices();
+  BCCLB_REQUIRE(n >= 2, "need at least 2 vertices");
+  BCCLB_REQUIRE(bandwidth >= 1 && bandwidth <= 64, "bandwidth must be in [1, 64]");
+  BCCLB_REQUIRE(!running_, "RoundEngine::run is not reentrant");
+  running_ = true;
+  RunGuard guard{&running_, &vertices_};
+
+  const std::size_t ports = n - 1;
+
+  // Per-run tables, into reused storage. The flat peer table turns the inner
+  // delivery loop into bounds-free index lookups (the Wiring accessor walks
+  // two nested vectors with range checks on every call).
+  peer_flat_.clear();
+  const auto& tables = instance.wiring().tables();
+  for (VertexId v = 0; v < n; ++v) {
+    peer_flat_.insert(peer_flat_.end(), tables[v].begin(), tables[v].end());
+  }
+
+  // Private-coin storage must outlive the vertices holding pointers into it.
+  private_streams_.clear();
+  if (coins.use_private) {
+    BCCLB_REQUIRE(coins.private_bits >= 1, "need at least one coin");
+    private_streams_.reserve(n);
+    for (VertexId v = 0; v < n; ++v) {
+      private_streams_.emplace_back(
+          coins.private_seed * 0x9e3779b97f4a7c15ULL + instance.id_of(v), coins.private_bits);
+    }
+  }
+
+  // Shared KT-1 knowledge: one sorted ID table + one flat port table for all
+  // n vertices (the seed driver re-sorted per vertex: O(n^2 log n)).
+  std::shared_ptr<const Kt1ViewData> kt1;
+  if (instance.mode() == KnowledgeMode::kKT1) {
+    kt1 = std::make_shared<const Kt1ViewData>(Kt1ViewData::build(instance));
+  }
+
+  vertices_.clear();
+  vertices_.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    LocalView view = make_local_view(instance, v, bandwidth, kt1.get(),
+                                     coins.use_private ? &private_streams_[v] : coins.shared);
+    auto alg = factory();
+    BCCLB_CHECK(alg != nullptr, "factory returned null algorithm");
+    alg->init(view);
+    vertices_.push_back(std::move(alg));
+  }
+
+  RunResult result;
+  result.kt1_view = kt1;
+
+  outbox_.assign(n, Message::silent());
+  inbox_.assign(ports, Message::silent());
+  sent_staging_.clear();
+
+  unsigned t = 0;
+  for (; t < max_rounds; ++t) {
+    const bool everyone_done = std::all_of(vertices_.begin(), vertices_.end(),
+                                           [](const auto& v) { return v->finished(); });
+    if (everyone_done) break;
+
+    // Collect this round's broadcasts into the shared outbox and stage the
+    // transcript row; the transcript object itself is built once at the end,
+    // sized to the rounds actually executed.
+    if (sent_staging_.size() + n > sent_staging_.capacity()) {
+      sent_staging_.reserve(std::max(sent_staging_.size() + n, sent_staging_.capacity() * 2));
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      outbox_[v] = vertices_[v]->broadcast(t);
+      BCCLB_REQUIRE(outbox_[v].num_bits() <= bandwidth,
+                    "broadcast exceeds the bandwidth budget");
+      result.total_bits_broadcast += outbox_[v].num_bits();
+    }
+    sent_staging_.insert(sent_staging_.end(), outbox_.begin(), outbox_.end());
+
+    // Deliver: inbox[p] at v = broadcast of the peer behind port p — a
+    // gather by index from the shared outbox.
+    const std::uint32_t* peers = peer_flat_.data();
+    for (VertexId v = 0; v < n; ++v) {
+      const std::uint32_t* row = peers + static_cast<std::size_t>(v) * ports;
+      for (std::size_t p = 0; p < ports; ++p) inbox_[p] = outbox_[row[p]];
+      vertices_[v]->receive(t, std::span<const Message>(inbox_.data(), ports));
+    }
+  }
+
+  result.rounds_executed = t;
+  result.transcript = Transcript(n, t);
+  for (unsigned r = 0; r < t; ++r) {
+    for (VertexId v = 0; v < n; ++v) {
+      result.transcript.record(v, r, sent_staging_[static_cast<std::size_t>(r) * n + v]);
+    }
+  }
+  result.all_finished = std::all_of(vertices_.begin(), vertices_.end(),
+                                    [](const auto& v) { return v->finished(); });
+  result.vertex_decisions.reserve(n);
+  result.labels.reserve(n);
+  result.decision = true;
+  for (const auto& v : vertices_) {
+    const bool d = v->decide();
+    result.vertex_decisions.push_back(d);
+    result.decision = result.decision && d;
+    result.labels.push_back(v->component_label());
+  }
+  result.agents = std::move(vertices_);
+  vertices_.clear();
+
+  stats_.rounds = t;
+  stats_.total_bits = result.total_bits_broadcast;
+  stats_.peak_buffer_bytes = buffer_bytes();
+  stats_.wall_time_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           start)
+          .count());
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,144 @@
+// The reusable BCC(b) round driver.
+//
+// Per Section 1.2: in each round every vertex receives the previous round's
+// broadcasts on its ports, computes, and broadcasts at most b bits (or stays
+// silent). RoundEngine is the execution core behind every simulator entry
+// point: it owns flat, pre-allocated outbox/inbox/transcript buffers that
+// are sized once and reused across rounds *and* across runs, a flattened
+// per-wiring peer table so inbox delivery is index lookups into the shared
+// outbox, and the per-instance KT-1 knowledge tables computed once and
+// shared across all n vertices (LocalView spans). The steady-state round
+// loop performs no heap allocation.
+//
+// One engine serves one thread; BatchRunner gives each worker its own.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bcc/instance.h"
+#include "bcc/message.h"
+#include "bcc/transcript.h"
+
+namespace bcclb {
+
+// A vertex-local algorithm. The driver calls init once, then alternates
+// broadcast(t) / receive(t, inbox) for t = 0, 1, ...; inbox[p] is the round-t
+// broadcast of the peer behind port p. Once every vertex reports finished(),
+// the run stops and outputs are read.
+class VertexAlgorithm {
+ public:
+  virtual ~VertexAlgorithm() = default;
+
+  virtual void init(const LocalView& view) = 0;
+
+  virtual Message broadcast(unsigned round) = 0;
+
+  virtual void receive(unsigned round, std::span<const Message> inbox) = 0;
+
+  // True when this vertex is ready to output; the system stops when all are.
+  virtual bool finished() const = 0;
+
+  // Decision-problem output (YES = true). Valid once finished, or when the
+  // driver hits its round limit.
+  virtual bool decide() const = 0;
+
+  // ConnectedComponents-style output; default says the algorithm computes
+  // no label.
+  virtual std::optional<std::uint64_t> component_label() const { return std::nullopt; }
+};
+
+// Factories must be safe to invoke concurrently from several threads (each
+// call returns an independent vertex); every factory in the repository is.
+using AlgorithmFactory = std::function<std::unique_ptr<VertexAlgorithm>()>;
+
+// How one run obtains its randomness. Public coins are the model's shared
+// string r (every vertex reads the same stream); the private-coin model
+// derives an independent stream per vertex ID from `private_seed`.
+struct CoinSpec {
+  const PublicCoins* shared = nullptr;
+  bool use_private = false;
+  std::uint64_t private_seed = 0;
+  std::size_t private_bits = 0;
+
+  static CoinSpec none() { return {}; }
+  static CoinSpec public_coins(const PublicCoins* coins) { return {coins, false, 0, 0}; }
+  static CoinSpec private_coins(std::uint64_t seed, std::size_t bits_per_vertex = 4096) {
+    return {nullptr, true, seed, bits_per_vertex};
+  }
+};
+
+// Per-run observability: what one execution cost.
+struct RunStats {
+  unsigned rounds = 0;
+  std::uint64_t total_bits = 0;       // sum of broadcast lengths
+  std::uint64_t wall_time_ns = 0;     // run() wall time
+  std::size_t peak_buffer_bytes = 0;  // engine buffer footprint after the run
+};
+
+struct RunResult {
+  unsigned rounds_executed = 0;
+  bool all_finished = false;
+  bool decision = false;  // AND over vertices
+  std::vector<bool> vertex_decisions;
+  std::vector<std::optional<std::uint64_t>> labels;
+  Transcript transcript{0, 0};
+  std::uint64_t total_bits_broadcast = 0;
+  RunStats stats;
+  // Final vertex states, for algorithms with richer outputs than a decision
+  // (e.g. the MST edge set). Move-only.
+  std::vector<std::unique_ptr<VertexAlgorithm>> agents;
+  // Backing storage of the agents' KT-1 view spans; keeps them valid after
+  // the engine moves on to another instance.
+  std::shared_ptr<const Kt1ViewData> kt1_view;
+};
+
+class RoundEngine {
+ public:
+  RoundEngine() = default;
+
+  // Non-copyable, non-movable: agents from in-flight runs hold no pointers
+  // into the engine, but keeping it pinned makes buffer reuse reasoning
+  // trivial.
+  RoundEngine(const RoundEngine&) = delete;
+  RoundEngine& operator=(const RoundEngine&) = delete;
+
+  // Pre-sizes the flat buffers for instances up to (n, expected_rounds), so
+  // the first run doesn't grow them either. Optional: run() grows on demand.
+  void reserve(std::size_t n, unsigned expected_rounds);
+
+  // Runs up to max_rounds rounds (stopping early once every vertex reports
+  // finished). Throws if any broadcast exceeds the bandwidth; the engine's
+  // buffers stay valid and the engine is immediately reusable after a throw.
+  RunResult run(const BccInstance& instance, unsigned bandwidth,
+                const AlgorithmFactory& factory, unsigned max_rounds,
+                const CoinSpec& coins = {});
+
+  // Stats of the most recent completed run.
+  const RunStats& last_stats() const { return stats_; }
+
+  // Current footprint of the reusable buffers, in bytes.
+  std::size_t buffer_bytes() const;
+
+  // True while a run is executing on this engine (reentrancy guard for
+  // callers that share a thread-local engine).
+  bool running() const { return running_; }
+
+ private:
+  // Reused across runs; cleared, never shrunk.
+  std::vector<Message> outbox_;                 // n entries, current round
+  std::vector<Message> inbox_;                  // n - 1 entries, gather target
+  std::vector<std::uint32_t> peer_flat_;        // wiring, [v * (n-1) + p] = peer
+  std::vector<Message> sent_staging_;           // [t * n + v], grows per round
+  std::vector<std::unique_ptr<VertexAlgorithm>> vertices_;
+  std::vector<PublicCoins> private_streams_;
+
+  RunStats stats_;
+  bool running_ = false;
+};
+
+}  // namespace bcclb

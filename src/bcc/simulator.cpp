@@ -1,7 +1,5 @@
 #include "bcc/simulator.h"
 
-#include <algorithm>
-
 #include "common/check.h"
 
 namespace bcclb {
@@ -18,89 +16,21 @@ void BccSimulator::use_private_coins(std::uint64_t seed, std::size_t bits_per_ve
   private_bits_ = bits_per_vertex;
 }
 
+CoinSpec BccSimulator::coin_spec() const {
+  return private_coins_ ? CoinSpec::private_coins(private_seed_, private_bits_)
+                        : CoinSpec::public_coins(coins_);
+}
+
 RunResult BccSimulator::run(const AlgorithmFactory& factory, unsigned max_rounds) const {
-  const std::size_t n = instance_.num_vertices();
-  BCCLB_REQUIRE(n >= 2, "need at least 2 vertices");
-
-  // Private-coin storage must outlive the vertices holding pointers into it.
-  std::vector<PublicCoins> private_streams;
-  if (private_coins_) {
-    private_streams.reserve(n);
-    for (VertexId v = 0; v < n; ++v) {
-      private_streams.emplace_back(private_seed_ * 0x9e3779b97f4a7c15ULL + instance_.id_of(v),
-                                   private_bits_);
-    }
+  // One engine per thread amortizes buffer growth across the 25+ facade call
+  // sites; if an algorithm's callback re-enters the facade mid-run, fall back
+  // to a throwaway engine rather than corrupting the busy one.
+  thread_local RoundEngine engine;
+  if (engine.running()) {
+    RoundEngine nested;
+    return nested.run(instance_, bandwidth_, factory, max_rounds, coin_spec());
   }
-
-  std::vector<std::unique_ptr<VertexAlgorithm>> vertices;
-  vertices.reserve(n);
-  for (VertexId v = 0; v < n; ++v) {
-    LocalView view;
-    view.n = n;
-    view.bandwidth = bandwidth_;
-    view.mode = instance_.mode();
-    view.id = instance_.id_of(v);
-    view.input_ports = instance_.input_ports(v);
-    view.coins = private_coins_ ? &private_streams[v] : coins_;
-    if (instance_.mode() == KnowledgeMode::kKT1) {
-      view.all_ids.reserve(n);
-      for (VertexId u = 0; u < n; ++u) view.all_ids.push_back(instance_.id_of(u));
-      std::sort(view.all_ids.begin(), view.all_ids.end());
-      view.port_peer_ids.reserve(n - 1);
-      for (Port p = 0; p + 1 < n; ++p) {
-        view.port_peer_ids.push_back(instance_.id_of(instance_.wiring().peer(v, p)));
-      }
-    }
-    auto alg = factory();
-    BCCLB_CHECK(alg != nullptr, "factory returned null algorithm");
-    alg->init(view);
-    vertices.push_back(std::move(alg));
-  }
-
-  RunResult result;
-  result.transcript = Transcript(n, max_rounds);
-
-  unsigned t = 0;
-  for (; t < max_rounds; ++t) {
-    const bool everyone_done = std::all_of(vertices.begin(), vertices.end(),
-                                           [](const auto& v) { return v->finished(); });
-    if (everyone_done) break;
-
-    // Collect this round's broadcasts.
-    std::vector<Message> outbox(n);
-    for (VertexId v = 0; v < n; ++v) {
-      outbox[v] = vertices[v]->broadcast(t);
-      BCCLB_REQUIRE(outbox[v].num_bits() <= bandwidth_,
-                    "broadcast exceeds the bandwidth budget");
-      result.transcript.record(v, t, outbox[v]);
-      result.total_bits_broadcast += outbox[v].num_bits();
-    }
-
-    // Deliver: inbox[p] at v = broadcast of the peer behind port p.
-    std::vector<Message> inbox(n - 1);
-    for (VertexId v = 0; v < n; ++v) {
-      for (Port p = 0; p + 1 < n; ++p) {
-        inbox[p] = outbox[instance_.wiring().peer(v, p)];
-      }
-      vertices[v]->receive(t, inbox);
-    }
-  }
-
-  result.rounds_executed = t;
-  result.transcript.truncate(t);
-  result.all_finished = std::all_of(vertices.begin(), vertices.end(),
-                                    [](const auto& v) { return v->finished(); });
-  result.vertex_decisions.reserve(n);
-  result.labels.reserve(n);
-  result.decision = true;
-  for (const auto& v : vertices) {
-    const bool d = v->decide();
-    result.vertex_decisions.push_back(d);
-    result.decision = result.decision && d;
-    result.labels.push_back(v->component_label());
-  }
-  result.agents = std::move(vertices);
-  return result;
+  return engine.run(instance_, bandwidth_, factory, max_rounds, coin_spec());
 }
 
 }  // namespace bcclb

@@ -1,65 +1,20 @@
-// The BCC(b) round driver.
+// The BCC(b) simulator facade.
 //
-// Per Section 1.2: in each round every vertex receives the previous round's
-// broadcasts on its ports, computes, and broadcasts at most b bits (or stays
-// silent). The driver instantiates one VertexAlgorithm per vertex from a
-// factory, feeds each exactly its LocalView, enforces the bandwidth budget,
-// and aggregates the decision as the AND of vertex outputs (the system says
-// YES iff all vertices say YES).
+// BccSimulator is the historical single-instance entry point: it binds an
+// instance, a bandwidth and a coin model, and runs one algorithm to a
+// RunResult. Since the execution-core refactor it is a thin facade over
+// RoundEngine (see round_engine.h), which owns the actual round loop and its
+// pre-allocated buffers; instance sweeps should go through BatchRunner (see
+// batch_runner.h) instead of constructing one BccSimulator per instance.
+//
+// The vertex-algorithm interface (VertexAlgorithm, AlgorithmFactory) and
+// RunResult live in round_engine.h; this header re-exports them so the many
+// existing call sites keep compiling unchanged.
 #pragma once
 
-#include <functional>
-#include <memory>
-#include <optional>
-#include <span>
-#include <vector>
-
-#include "bcc/instance.h"
-#include "bcc/message.h"
-#include "bcc/transcript.h"
+#include "bcc/round_engine.h"
 
 namespace bcclb {
-
-// A vertex-local algorithm. The driver calls init once, then alternates
-// broadcast(t) / receive(t, inbox) for t = 0, 1, ...; inbox[p] is the round-t
-// broadcast of the peer behind port p. Once every vertex reports finished(),
-// the run stops and outputs are read.
-class VertexAlgorithm {
- public:
-  virtual ~VertexAlgorithm() = default;
-
-  virtual void init(const LocalView& view) = 0;
-
-  virtual Message broadcast(unsigned round) = 0;
-
-  virtual void receive(unsigned round, std::span<const Message> inbox) = 0;
-
-  // True when this vertex is ready to output; the system stops when all are.
-  virtual bool finished() const = 0;
-
-  // Decision-problem output (YES = true). Valid once finished, or when the
-  // driver hits its round limit.
-  virtual bool decide() const = 0;
-
-  // ConnectedComponents-style output; default says the algorithm computes
-  // no label.
-  virtual std::optional<std::uint64_t> component_label() const { return std::nullopt; }
-};
-
-using AlgorithmFactory = std::function<std::unique_ptr<VertexAlgorithm>()>;
-
-struct RunResult {
-  unsigned rounds_executed = 0;
-  bool all_finished = false;
-  bool decision = false;  // AND over vertices
-  std::vector<bool> vertex_decisions;
-  std::vector<std::optional<std::uint64_t>> labels;
-  Transcript transcript{0, 0};
-  std::uint64_t total_bits_broadcast = 0;
-  // Final vertex states, for algorithms with richer outputs than a decision
-  // (e.g. the MST edge set). Move-only.
-  std::vector<std::unique_ptr<VertexAlgorithm>> agents;
-};
 
 class BccSimulator {
  public:
@@ -75,8 +30,15 @@ class BccSimulator {
   void use_private_coins(std::uint64_t seed, std::size_t bits_per_vertex = 4096);
 
   // Runs up to max_rounds rounds (stopping early once every vertex reports
-  // finished). Throws if any broadcast exceeds the bandwidth.
+  // finished). Throws if any broadcast exceeds the bandwidth. Executes on a
+  // thread-local RoundEngine so repeated facade runs still reuse buffers.
   RunResult run(const AlgorithmFactory& factory, unsigned max_rounds) const;
+
+  const BccInstance& instance() const { return instance_; }
+  unsigned bandwidth() const { return bandwidth_; }
+
+  // The coin model this simulator would hand the engine.
+  CoinSpec coin_spec() const;
 
  private:
   BccInstance instance_;

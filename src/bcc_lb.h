@@ -17,8 +17,10 @@
 #include "bcc/algorithms/boruvka_mst.h"          // IWYU pragma: export
 #include "bcc/algorithms/disjointness.h"         // IWYU pragma: export
 #include "bcc/algorithms/kt0_bootstrap.h"        // IWYU pragma: export
+#include "bcc/batch_runner.h"                    // IWYU pragma: export
 #include "bcc/instance.h"                        // IWYU pragma: export
 #include "bcc/range_model.h"                     // IWYU pragma: export
+#include "bcc/round_engine.h"                    // IWYU pragma: export
 #include "bcc/simulator.h"                       // IWYU pragma: export
 #include "bcc/transcript.h"                      // IWYU pragma: export
 #include "comm/components_protocol.h"            // IWYU pragma: export

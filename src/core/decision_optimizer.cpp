@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "bcc/batch_runner.h"
 #include "common/check.h"
 #include "crossing/ported_instance.h"
 #include "graph/cycle_structure.h"
@@ -34,29 +35,41 @@ DecisionOptimizerReport optimize_decision_rule(std::size_t n, unsigned t,
   const double mu1 = 0.5 / static_cast<double>(v1.size());
   const double mu2 = 0.5 / static_cast<double>(v2.size());
 
-  // Collect per-vertex states; intern them as dense ids.
+  // Per-instance simulation + signature extraction is embarrassingly
+  // parallel — batch it, then intern state ids serially in the original
+  // v1-then-v2 order so the dense ids (and everything downstream) are
+  // bit-identical to the serial implementation.
+  const std::size_t total = v1.size() + v2.size();
+  const auto structure_at = [&](std::size_t i) -> const CycleStructure& {
+    return i < v1.size() ? v1[i] : v2[i - v1.size()];
+  };
+  std::vector<std::vector<std::string>> sigs(total);
+  const BatchRunner runner;
+  runner.for_each_with_engine(total, [&](std::size_t i, RoundEngine& eng) {
+    const BccInstance inst = canonical_kt0_instance(structure_at(i));
+    const Transcript tr =
+        eng.run(inst, 1, broadcast_behaviour, t, CoinSpec::public_coins(coins)).transcript;
+    sigs[i].reserve(n);
+    for (VertexId v = 0; v < n; ++v) sigs[i].push_back(vertex_state_signature(inst, tr, v));
+  });
+
+  // Intern signatures as dense ids (serial, order-preserving).
   std::map<std::string, std::uint32_t> state_id;
   std::vector<InstanceStates> instances;
-  instances.reserve(v1.size() + v2.size());
-  auto ingest = [&](const CycleStructure& cs, bool is_yes, double mass) {
-    const BccInstance inst = canonical_kt0_instance(cs);
-    BccSimulator sim(inst, 1, coins);
-    const Transcript tr = sim.run(broadcast_behaviour, t).transcript;
+  instances.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
     InstanceStates rec;
-    rec.is_yes = is_yes;
-    rec.mass = mass;
+    rec.is_yes = i < v1.size();
+    rec.mass = rec.is_yes ? mu1 : mu2;
     rec.states.reserve(n);
-    for (VertexId v = 0; v < n; ++v) {
-      const std::string sig = vertex_state_signature(inst, tr, v);
+    for (const std::string& sig : sigs[i]) {
       const auto [it, inserted] =
           state_id.emplace(sig, static_cast<std::uint32_t>(state_id.size()));
       rec.states.push_back(it->second);
     }
     std::sort(rec.states.begin(), rec.states.end());
     instances.push_back(std::move(rec));
-  };
-  for (const auto& cs : v1) ingest(cs, true, mu1);
-  for (const auto& cs : v2) ingest(cs, false, mu2);
+  }
   report.num_states = state_id.size();
 
   // Inseparable pairs: identical state multisets across the class boundary.

@@ -2,7 +2,10 @@
 
 #include <cmath>
 
+#include <utility>
+
 #include "bcc/algorithms/boruvka.h"
+#include "bcc/batch_runner.h"
 #include "comm/partition_protocols.h"
 #include "core/kt1_engine.h"
 #include "common/check.h"
@@ -12,6 +15,22 @@
 
 namespace bcclb {
 
+namespace {
+
+// Materializes the partition enumeration so the per-partition work (a
+// protocol or BCC simulation each) can fan across the batch pool while the
+// information-theoretic fold stays serial and order-preserving.
+std::vector<SetPartition> collect_partitions(std::size_t n) {
+  std::vector<SetPartition> out;
+  for_each_partition(n, [&](const SetPartition& pa) {
+    out.push_back(pa);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace
+
 InfoReport partition_comp_information(std::size_t n, double keep_fraction) {
   BCCLB_REQUIRE(n >= 1 && n <= 10, "exhaustive information sweep supports n <= 10");
   InfoReport report;
@@ -20,22 +39,31 @@ InfoReport partition_comp_information(std::size_t n, double keep_fraction) {
   report.h_pa = log2_bell(n);
 
   const SetPartition pb = SetPartition::finest(n);
+  const std::vector<SetPartition> partitions = collect_partitions(n);
+
+  struct ProtocolOutcome {
+    ProtocolResult res;
+    bool join_correct = false;
+  };
+  std::vector<ProtocolOutcome> outcomes(partitions.size());
+  const BatchRunner runner;
+  runner.for_each(partitions.size(), [&](std::size_t i) {
+    PartitionCompAlice alice(partitions[i], keep_fraction);
+    PartitionCompBob bob(pb);
+    outcomes[i].res = run_protocol(alice, bob, 4);
+    // PB is the finest partition, so the correct join is PA itself.
+    outcomes[i].join_correct = (bob.join() == partitions[i]);
+  });
+
   JointDistribution joint;
   std::size_t errors = 0;
-  std::size_t total = 0;
-  std::uint64_t index = 0;
-  for_each_partition(n, [&](const SetPartition& pa) {
-    PartitionCompAlice alice(pa, keep_fraction);
-    PartitionCompBob bob(pb);
-    const ProtocolResult res = run_protocol(alice, bob, 4);
-    report.max_transcript_bits = std::max(report.max_transcript_bits, res.total_bits());
-    // PB is the finest partition, so the correct join is PA itself.
-    if (!(bob.join() == pa)) ++errors;
-    joint.add("pa:" + std::to_string(index), res.transcript, 1.0);
-    ++total;
-    ++index;
-    return true;
-  });
+  const std::size_t total = partitions.size();
+  for (std::size_t index = 0; index < total; ++index) {
+    report.max_transcript_bits =
+        std::max(report.max_transcript_bits, outcomes[index].res.total_bits());
+    if (!outcomes[index].join_correct) ++errors;
+    joint.add("pa:" + std::to_string(index), outcomes[index].res.transcript, 1.0);
+  }
 
   report.realized_error = static_cast<double>(errors) / static_cast<double>(total);
   report.mutual_information = mutual_information(joint);
@@ -56,19 +84,26 @@ BccInfoReport bcc_simulation_information(std::size_t n, unsigned bandwidth) {
   report.all_correct = true;
 
   const SetPartition pb = SetPartition::finest(n);
+  const std::vector<SetPartition> partitions = collect_partitions(n);
+  std::vector<std::pair<SetPartition, SetPartition>> inputs;
+  inputs.reserve(partitions.size());
+  for (const SetPartition& pa : partitions) inputs.push_back({pa, pb});
+
+  const BatchRunner runner;
+  const std::vector<PartitionViaBcc> solved =
+      solve_partitions_via_bcc(inputs, boruvka_factory(), bandwidth, 4000, runner);
+
   JointDistribution joint;
-  std::uint64_t index = 0;
-  for_each_partition(n, [&](const SetPartition& pa) {
-    const auto out = solve_partition_via_bcc(pa, pb, boruvka_factory(), bandwidth, 4000);
+  for (std::size_t index = 0; index < solved.size(); ++index) {
+    const PartitionViaBcc& out = solved[index];
     report.max_bits = std::max(report.max_bits, out.sim.total_bits());
     report.max_rounds = std::max(report.max_rounds, out.sim.bcc_rounds);
-    if (!(out.recovered_join.has_value() && *out.recovered_join == pa.join(pb))) {
+    if (!(out.recovered_join.has_value() &&
+          *out.recovered_join == partitions[index].join(pb))) {
       report.all_correct = false;
     }
     joint.add("pa:" + std::to_string(index), out.sim.comm.transcript, 1.0);
-    ++index;
-    return true;
-  });
+  }
   report.transcript_information = mutual_information(joint);
   return report;
 }

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <map>
 #include <numeric>
+#include <utility>
 
+#include "bcc/batch_runner.h"
 #include "common/check.h"
 #include "common/mathutil.h"
 #include "crossing/active_edges.h"
@@ -17,16 +19,16 @@ namespace bcclb {
 
 namespace {
 
-Transcript run_for_transcript(const BccInstance& instance, const AlgorithmFactory& factory,
-                              unsigned t, const PublicCoins* coins) {
-  BccSimulator sim(instance, 1, coins);
-  return sim.run(factory, t).transcript;
+// All KT-0 experiments run at b = 1 (the BCC(1) model of Section 3).
+Transcript run_for_transcript(RoundEngine& engine, const BccInstance& instance,
+                              const AlgorithmFactory& factory, unsigned t,
+                              const PublicCoins* coins) {
+  return engine.run(instance, 1, factory, t, CoinSpec::public_coins(coins)).transcript;
 }
 
-bool run_decision(const BccInstance& instance, const AlgorithmFactory& factory, unsigned t,
-                  const PublicCoins* coins) {
-  BccSimulator sim(instance, 1, coins);
-  return sim.run(factory, t).decision;
+bool run_decision(RoundEngine& engine, const BccInstance& instance,
+                  const AlgorithmFactory& factory, unsigned t, const PublicCoins* coins) {
+  return engine.run(instance, 1, factory, t, CoinSpec::public_coins(coins)).decision;
 }
 
 double choose2(double m) { return m * (m - 1.0) / 2.0; }
@@ -40,13 +42,15 @@ StarErrorReport star_error_experiment(std::size_t n, unsigned t,
   StarErrorReport report;
   report.n = n;
   report.t = t;
+  RoundEngine engine;  // for the handful of one-off runs
+  const BatchRunner runner;
 
   // Canonical one-cycle instance I: the cycle 0-1-...-(n-1)-0.
   std::vector<VertexId> order(n);
   std::iota(order.begin(), order.end(), 0);
   const CycleStructure cs = CycleStructure::single_cycle(order);
   const BccInstance instance = canonical_kt0_instance(cs);
-  const Transcript transcript = run_for_transcript(instance, factory, t, coins);
+  const Transcript transcript = run_for_transcript(engine, instance, factory, t, coins);
 
   // S: every third cycle edge — bn/3c pairwise-independent edges (footnote 3).
   std::vector<DirectedEdge> s_edges;
@@ -77,36 +81,51 @@ StarErrorReport star_error_experiment(std::size_t n, unsigned t,
   report.theory_floor = std::pow(3.0, -4.0 * static_cast<double>(t)) / 2.0;
 
   // Measured error under µ: the algorithm must say YES on I and NO on every
-  // crossing (all crossings of S-pairs are two-cycle instances).
-  std::size_t wrong = 0, total = 0;
-  const bool yes_on_i = run_decision(instance, factory, t, coins);
+  // crossing (all crossings of S-pairs are two-cycle instances). Every
+  // crossing is an independent instance — fan them across the batch pool.
+  const bool yes_on_i = run_decision(engine, instance, factory, t, coins);
+  std::vector<std::pair<std::size_t, std::size_t>> cross_pairs;
   for (std::size_t a = 0; a < s_edges.size(); ++a) {
-    for (std::size_t b = a + 1; b < s_edges.size(); ++b) {
-      const BccInstance crossed = port_preserving_crossing(instance, s_edges[a], s_edges[b]);
-      if (run_decision(crossed, factory, t, coins)) ++wrong;
-      ++total;
-    }
+    for (std::size_t b = a + 1; b < s_edges.size(); ++b) cross_pairs.push_back({a, b});
   }
-  report.measured_error = 0.5 * (yes_on_i ? 0.0 : 1.0) +
-                          0.5 * static_cast<double>(wrong) / static_cast<double>(total);
+  std::vector<char> crossing_says_yes(cross_pairs.size(), 0);
+  runner.for_each_with_engine(cross_pairs.size(), [&](std::size_t i, RoundEngine& eng) {
+    const auto [a, b] = cross_pairs[i];
+    const BccInstance crossed = port_preserving_crossing(instance, s_edges[a], s_edges[b]);
+    crossing_says_yes[i] = run_decision(eng, crossed, factory, t, coins) ? 1 : 0;
+  });
+  const std::size_t wrong = static_cast<std::size_t>(
+      std::count(crossing_says_yes.begin(), crossing_says_yes.end(), 1));
+  report.measured_error =
+      0.5 * (yes_on_i ? 0.0 : 1.0) +
+      0.5 * static_cast<double>(wrong) / static_cast<double>(cross_pairs.size());
 
   // Lemma 3.4 verification: crossings of same-class pairs must be state-wise
-  // indistinguishable from I after t rounds.
-  for (std::size_t a = 0; a < s_prime.size() && report.crossings_checked < max_verifications;
-       ++a) {
+  // indistinguishable from I after t rounds. The reference signatures depend
+  // only on I — compute them once, then verify crossings in parallel.
+  std::vector<std::string> base_sigs(n);
+  for (VertexId v = 0; v < n; ++v) base_sigs[v] = vertex_state_signature(instance, transcript, v);
+  std::vector<std::pair<std::size_t, std::size_t>> verify_pairs;
+  for (std::size_t a = 0; a < s_prime.size() && verify_pairs.size() < max_verifications; ++a) {
     for (std::size_t b = a + 1;
-         b < s_prime.size() && report.crossings_checked < max_verifications; ++b) {
-      const BccInstance crossed = port_preserving_crossing(instance, s_prime[a], s_prime[b]);
-      const Transcript crossed_tr = run_for_transcript(crossed, factory, t, coins);
-      bool same = true;
-      for (VertexId v = 0; v < n && same; ++v) {
-        same = vertex_state_signature(instance, transcript, v) ==
-               vertex_state_signature(crossed, crossed_tr, v);
-      }
-      ++report.crossings_checked;
-      if (same) ++report.crossings_verified;
+         b < s_prime.size() && verify_pairs.size() < max_verifications; ++b) {
+      verify_pairs.push_back({a, b});
     }
   }
+  std::vector<char> indistinguishable(verify_pairs.size(), 0);
+  runner.for_each_with_engine(verify_pairs.size(), [&](std::size_t i, RoundEngine& eng) {
+    const auto [a, b] = verify_pairs[i];
+    const BccInstance crossed = port_preserving_crossing(instance, s_prime[a], s_prime[b]);
+    const Transcript crossed_tr = run_for_transcript(eng, crossed, factory, t, coins);
+    bool same = true;
+    for (VertexId v = 0; v < n && same; ++v) {
+      same = base_sigs[v] == vertex_state_signature(crossed, crossed_tr, v);
+    }
+    indistinguishable[i] = same ? 1 : 0;
+  });
+  report.crossings_checked = verify_pairs.size();
+  report.crossings_verified = static_cast<std::size_t>(
+      std::count(indistinguishable.begin(), indistinguishable.end(), 1));
   return report;
 }
 
@@ -115,7 +134,8 @@ ActiveEdgeFn algorithm_active_edges(unsigned t, const AlgorithmFactory& factory,
                                     const PublicCoins* coins) {
   return [t, factory, x, y, coins](const CycleStructure& cs) {
     const BccInstance instance = canonical_kt0_instance(cs);
-    const Transcript transcript = run_for_transcript(instance, factory, t, coins);
+    RoundEngine engine;
+    const Transcript transcript = run_for_transcript(engine, instance, factory, t, coins);
     return active_edges(cs, transcript, x, y);
   };
 }
@@ -130,20 +150,45 @@ SampledErrorReport kt0_sampled_error(std::size_t n, unsigned t,
   report.samples = samples;
   Rng rng(seed);
 
+  // Draw every sampled instance serially first — the RNG consumption order
+  // is exactly the seed implementation's, so results are bit-identical —
+  // then fan the independent runs across the batch pool.
+  struct Sample {
+    CycleStructure one;
+    BccInstance i1;
+    CycleStructure two;
+    BccInstance i2;
+  };
+  std::vector<Sample> drawn;
+  drawn.reserve(samples);
+  for (std::size_t s = 0; s < samples; ++s) {
+    CycleStructure one = random_one_cycle(n, rng);
+    BccInstance i1 = random_kt0_instance(one, rng);
+    CycleStructure two = random_two_cycle(n, rng);
+    BccInstance i2 = random_kt0_instance(two, rng);
+    drawn.push_back({std::move(one), std::move(i1), std::move(two), std::move(i2)});
+  }
+
+  struct SampleOutcome {
+    bool one_says_yes = false;
+    bool two_says_yes = false;
+    std::size_t largest_class = 0;
+  };
+  std::vector<SampleOutcome> outcomes(samples);
+  const BatchRunner runner;
+  runner.for_each_with_engine(samples, [&](std::size_t s, RoundEngine& eng) {
+    const RunResult r1 = eng.run(drawn[s].i1, 1, factory, t, CoinSpec::public_coins(coins));
+    outcomes[s].one_says_yes = r1.decision;
+    outcomes[s].largest_class = edge_label_classes(drawn[s].one, r1.transcript)[0].edges.size();
+    outcomes[s].two_says_yes = run_decision(eng, drawn[s].i2, factory, t, coins);
+  });
+
   std::size_t wrong_yes = 0, wrong_no = 0;
   double class_sum = 0.0;
-  for (std::size_t s = 0; s < samples; ++s) {
-    const CycleStructure one = random_one_cycle(n, rng);
-    const BccInstance i1 = random_kt0_instance(one, rng);
-    BccSimulator sim1(i1, 1, coins);
-    const RunResult r1 = sim1.run(factory, t);
-    if (!r1.decision) ++wrong_yes;
-    class_sum += static_cast<double>(edge_label_classes(one, r1.transcript)[0].edges.size());
-
-    const CycleStructure two = random_two_cycle(n, rng);
-    const BccInstance i2 = random_kt0_instance(two, rng);
-    BccSimulator sim2(i2, 1, coins);
-    if (sim2.run(factory, t).decision) ++wrong_no;
+  for (const SampleOutcome& o : outcomes) {
+    if (!o.one_says_yes) ++wrong_yes;
+    if (o.two_says_yes) ++wrong_no;
+    class_sum += static_cast<double>(o.largest_class);
   }
   report.yes_error = static_cast<double>(wrong_yes) / static_cast<double>(samples);
   report.no_error = static_cast<double>(wrong_no) / static_cast<double>(samples);
@@ -167,24 +212,36 @@ Kt0MatchingReport kt0_matching_experiment(std::size_t n, unsigned t,
   report.harmonic_prediction = harmonic(n / 2) - 1.5;
 
   // Measured distributional error under µ (half on V1 uniformly, half on V2
-  // uniformly): correct answer is YES on V1, NO on V2.
-  std::size_t wrong1 = 0, wrong2 = 0;
-  for (const CycleStructure& cs : v1) {
-    if (!run_decision(canonical_kt0_instance(cs), factory, t, coins)) ++wrong1;
-  }
-  for (const CycleStructure& cs : v2) {
-    if (run_decision(canonical_kt0_instance(cs), factory, t, coins)) ++wrong2;
-  }
+  // uniformly): correct answer is YES on V1, NO on V2. Every structure is an
+  // independent run — batch the whole enumeration, keeping the V1 transcripts
+  // (they feed the active-edge analysis below).
+  const BatchRunner runner;
+  std::vector<char> v1_says_yes(v1.size(), 0);
+  std::vector<char> v2_says_yes(v2.size(), 0);
+  std::vector<Transcript> transcripts(v1.size(), Transcript(0, 0));
+  runner.for_each_with_engine(v1.size() + v2.size(), [&](std::size_t i, RoundEngine& eng) {
+    if (i < v1.size()) {
+      const RunResult r =
+          eng.run(canonical_kt0_instance(v1[i]), 1, factory, t, CoinSpec::public_coins(coins));
+      v1_says_yes[i] = r.decision ? 1 : 0;
+      transcripts[i] = r.transcript;
+    } else {
+      const std::size_t j = i - v1.size();
+      v2_says_yes[j] = run_decision(eng, canonical_kt0_instance(v2[j]), factory, t, coins);
+    }
+  });
+  const std::size_t wrong1 = static_cast<std::size_t>(
+      std::count(v1_says_yes.begin(), v1_says_yes.end(), 0));
+  const std::size_t wrong2 = static_cast<std::size_t>(
+      std::count(v2_says_yes.begin(), v2_says_yes.end(), 1));
   report.measured_error = 0.5 * static_cast<double>(wrong1) / static_cast<double>(v1.size()) +
                           0.5 * static_cast<double>(wrong2) / static_cast<double>(v2.size());
 
-  // Pick the (x, y) with the largest total active-edge mass over V1.
+  // Pick the (x, y) with the largest total active-edge mass over V1, folding
+  // serially in enumeration order.
   std::map<std::string, std::size_t> label_mass;
-  std::vector<Transcript> transcripts;
-  transcripts.reserve(v1.size());
-  for (const CycleStructure& cs : v1) {
-    transcripts.push_back(run_for_transcript(canonical_kt0_instance(cs), factory, t, coins));
-    for (const auto& cls : edge_label_classes(cs, transcripts.back())) {
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    for (const auto& cls : edge_label_classes(v1[i], transcripts[i])) {
       label_mass[cls.label] += cls.edges.size();
     }
   }

@@ -17,23 +17,17 @@ class BccHostParty final : public PartyAlgorithm {
  public:
   BccHostParty(const BccInstance& instance, std::vector<VertexId> hosted,
                const AlgorithmFactory& factory, unsigned bandwidth, const PublicCoins* coins)
-      : instance_(instance), hosted_(std::move(hosted)), bandwidth_(bandwidth) {
+      : instance_(instance),
+        hosted_(std::move(hosted)),
+        bandwidth_(bandwidth),
+        // Shared KT-1 knowledge, computed once per party instead of once per
+        // hosted vertex; the hosted algorithms' view spans alias this member.
+        kt1_data_(Kt1ViewData::build(instance)) {
     std::sort(hosted_.begin(), hosted_.end());
     const std::size_t n = instance.num_vertices();
     round_broadcasts_.assign(n, Message::silent());
     for (VertexId v : hosted_) {
-      LocalView view;
-      view.n = n;
-      view.bandwidth = bandwidth;
-      view.mode = instance.mode();
-      view.id = instance.id_of(v);
-      view.input_ports = instance.input_ports(v);
-      view.coins = coins;
-      for (VertexId u = 0; u < n; ++u) view.all_ids.push_back(instance.id_of(u));
-      std::sort(view.all_ids.begin(), view.all_ids.end());
-      for (Port p = 0; p + 1 < n; ++p) {
-        view.port_peer_ids.push_back(instance.id_of(instance.wiring().peer(v, p)));
-      }
+      const LocalView view = make_local_view(instance, v, bandwidth, &kt1_data_, coins);
       auto alg = factory();
       alg->init(view);
       algs_.push_back(std::move(alg));
@@ -123,6 +117,7 @@ class BccHostParty final : public PartyAlgorithm {
   const BccInstance& instance_;
   std::vector<VertexId> hosted_;
   unsigned bandwidth_;
+  Kt1ViewData kt1_data_;
   std::vector<std::unique_ptr<VertexAlgorithm>> algs_;
   std::vector<Message> round_broadcasts_;
   std::vector<bool> pending_msg_;
@@ -203,6 +198,21 @@ PartitionViaBcc solve_two_partition_via_bcc(const SetPartition& pa, const SetPar
       pa.join(pb).is_coarsest(), pa.join(pb), std::nullopt};
   out.recovered_join = recover_join_from_labels(out.sim.labels, red.l(0), red.ground_n);
   return out;
+}
+
+std::vector<PartitionViaBcc> solve_partitions_via_bcc(
+    const std::vector<std::pair<SetPartition, SetPartition>>& inputs,
+    const AlgorithmFactory& factory, unsigned bandwidth, unsigned max_rounds,
+    const BatchRunner& runner, const PublicCoins* coins) {
+  std::vector<std::optional<PartitionViaBcc>> slots(inputs.size());
+  runner.for_each(inputs.size(), [&](std::size_t i) {
+    slots[i].emplace(solve_partition_via_bcc(inputs[i].first, inputs[i].second, factory,
+                                             bandwidth, max_rounds, coins));
+  });
+  std::vector<PartitionViaBcc> results;
+  results.reserve(inputs.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
 }
 
 }  // namespace bcclb

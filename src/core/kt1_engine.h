@@ -14,7 +14,9 @@
 
 #include <functional>
 #include <optional>
+#include <utility>
 
+#include "bcc/batch_runner.h"
 #include "bcc/simulator.h"
 #include "comm/protocol.h"
 #include "core/reduction.h"
@@ -60,5 +62,13 @@ PartitionViaBcc solve_two_partition_via_bcc(const SetPartition& pa, const SetPar
                                             const AlgorithmFactory& factory, unsigned bandwidth,
                                             unsigned max_rounds,
                                             const PublicCoins* coins = nullptr);
+
+// Batched sweep: one reduction + simulation per (PA, PB) input, fanned across
+// `runner`'s thread pool with results in input order (bit-identical to a
+// serial loop — the two-party runs are independent and seed-free).
+std::vector<PartitionViaBcc> solve_partitions_via_bcc(
+    const std::vector<std::pair<SetPartition, SetPartition>>& inputs,
+    const AlgorithmFactory& factory, unsigned bandwidth, unsigned max_rounds,
+    const BatchRunner& runner, const PublicCoins* coins = nullptr);
 
 }  // namespace bcclb

@@ -7,6 +7,7 @@
 #include "bcc/algorithms/boruvka.h"
 #include "bcc/algorithms/min_id_flood.h"
 #include "bcc/algorithms/sketch_connectivity.h"
+#include "bcc/batch_runner.h"
 #include "common/check.h"
 #include "graph/components.h"
 
@@ -26,24 +27,43 @@ UpperBoundPoint measure_upper_bounds(const Graph& input, unsigned bandwidth,
 
   const BccInstance instance = BccInstance::kt1(input);
 
+  // The three upper-bound algorithms are independent runs on the same
+  // instance — submit them as one batch. `coins` must outlive the batch
+  // (the sketch job holds a pointer to it).
+  const PublicCoins coins(seed, 4096);
+  std::vector<BatchJob> jobs;
+  int flood_at = -1, boruvka_at = -1, sketch_at = -1;
   if (run_flood && bit_width_u64(n - 1) <= bandwidth) {
-    BccSimulator sim(instance, bandwidth);
-    const RunResult r = sim.run(min_id_flood_factory(), MinIdFloodAlgorithm::rounds_needed(n));
+    flood_at = static_cast<int>(jobs.size());
+    jobs.push_back({instance, min_id_flood_factory(), bandwidth,
+                    MinIdFloodAlgorithm::rounds_needed(n), CoinSpec::none()});
+  }
+  boruvka_at = static_cast<int>(jobs.size());
+  jobs.push_back({instance, boruvka_factory(), bandwidth,
+                  BoruvkaAlgorithm::max_rounds(n, bandwidth), CoinSpec::none()});
+  if (run_sketch) {
+    sketch_at = static_cast<int>(jobs.size());
+    jobs.push_back({instance, sketch_connectivity_factory(), bandwidth,
+                    SketchConnectivityAlgorithm::max_rounds(n, bandwidth),
+                    CoinSpec::public_coins(&coins)});
+  }
+
+  const BatchRunner runner;
+  const std::vector<RunResult> results = runner.run(jobs);
+
+  if (flood_at >= 0) {
+    const RunResult& r = results[flood_at];
     point.flood_ran = true;
     point.flood_rounds = r.rounds_executed;
     point.flood_correct = (r.decision == point.truly_connected);
   }
   {
-    BccSimulator sim(instance, bandwidth);
-    const RunResult r = sim.run(boruvka_factory(), BoruvkaAlgorithm::max_rounds(n, bandwidth));
+    const RunResult& r = results[boruvka_at];
     point.boruvka_rounds = r.rounds_executed;
     point.boruvka_correct = (r.decision == point.truly_connected);
   }
-  if (run_sketch) {
-    const PublicCoins coins(seed, 4096);
-    BccSimulator sim(instance, bandwidth, &coins);
-    const unsigned cap = SketchConnectivityAlgorithm::max_rounds(n, bandwidth);
-    const RunResult r = sim.run(sketch_connectivity_factory(), cap);
+  if (sketch_at >= 0) {
+    const RunResult& r = results[sketch_at];
     point.sketch_ran = true;
     point.sketch_rounds = r.rounds_executed;
     point.sketch_correct = (r.decision == point.truly_connected);

@@ -6,29 +6,6 @@
 
 namespace bcclb {
 
-namespace {
-
-LocalView make_view(const BccInstance& instance, VertexId v) {
-  LocalView view;
-  view.n = instance.num_vertices();
-  view.bandwidth = 1;
-  view.mode = instance.mode();
-  view.id = instance.id_of(v);
-  view.input_ports = instance.input_ports(v);
-  if (instance.mode() == KnowledgeMode::kKT1) {
-    for (VertexId u = 0; u < instance.num_vertices(); ++u) {
-      view.all_ids.push_back(instance.id_of(u));
-    }
-    std::sort(view.all_ids.begin(), view.all_ids.end());
-    for (Port p = 0; p + 1 < instance.num_vertices(); ++p) {
-      view.port_peer_ids.push_back(instance.id_of(instance.wiring().peer(v, p)));
-    }
-  }
-  return view;
-}
-
-}  // namespace
-
 PlsResult run_pls(const ProofLabelingScheme& scheme, const BccInstance& instance,
                   const std::vector<Label>& labels) {
   const std::size_t n = instance.num_vertices();
@@ -38,12 +15,17 @@ PlsResult run_pls(const ProofLabelingScheme& scheme, const BccInstance& instance
   for (const Label& l : labels) {
     result.max_label_bits = std::max(result.max_label_bits, l.size());
   }
+  // Shared KT-1 knowledge, computed once for all n verifier views.
+  const bool is_kt1 = instance.mode() == KnowledgeMode::kKT1;
+  const Kt1ViewData kt1 = is_kt1 ? Kt1ViewData::build(instance) : Kt1ViewData{};
   for (VertexId v = 0; v < n; ++v) {
     std::vector<Label> by_port(n - 1);
     for (Port p = 0; p + 1 < n; ++p) {
       by_port[p] = labels[instance.wiring().peer(v, p)];
     }
-    const bool vote = scheme.verify(make_view(instance, v), labels[v], by_port);
+    const LocalView view =
+        make_local_view(instance, v, /*bandwidth=*/1, is_kt1 ? &kt1 : nullptr, nullptr);
+    const bool vote = scheme.verify(view, labels[v], by_port);
     result.votes.push_back(vote);
     result.accepted = result.accepted && vote;
   }

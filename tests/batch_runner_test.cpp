@@ -1,0 +1,144 @@
+// Determinism regression for BatchRunner: serial and parallel execution must
+// be bit-identical — same transcripts, same decisions, same bit counts, in
+// the same order — for any thread count, in both public- and private-coin
+// modes.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "bcc/algorithms/boruvka.h"
+#include "bcc/algorithms/sketch_connectivity.h"
+#include "bcc/batch_runner.h"
+#include "common/random.h"
+#include "graph/generators.h"
+
+namespace bcclb {
+namespace {
+
+std::vector<BatchJob> make_jobs(const PublicCoins* coins) {
+  // A heterogeneous batch: deterministic Boruvka runs, public-coin sketch
+  // runs, and private-coin sketch runs, over instances of varying size and
+  // density (connected and disconnected).
+  Rng rng(42);
+  std::vector<BatchJob> jobs;
+  for (std::size_t n : {4, 7, 10, 13}) {
+    const BccInstance instance = BccInstance::kt1(random_gnp(n, 0.4, rng));
+    jobs.push_back({instance, boruvka_factory(), 2, BoruvkaAlgorithm::max_rounds(n, 2),
+                    CoinSpec::none()});
+    jobs.push_back({instance, sketch_connectivity_factory(), 8,
+                    SketchConnectivityAlgorithm::max_rounds(n, 8),
+                    CoinSpec::public_coins(coins)});
+    jobs.push_back({instance, sketch_connectivity_factory(), 8,
+                    SketchConnectivityAlgorithm::max_rounds(n, 8),
+                    CoinSpec::private_coins(/*seed=*/1000 + n)});
+  }
+  return jobs;
+}
+
+void expect_identical(const std::vector<RunResult>& a, const std::vector<RunResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].rounds_executed, b[i].rounds_executed) << "job " << i;
+    EXPECT_EQ(a[i].decision, b[i].decision) << "job " << i;
+    EXPECT_EQ(a[i].all_finished, b[i].all_finished) << "job " << i;
+    EXPECT_EQ(a[i].vertex_decisions, b[i].vertex_decisions) << "job " << i;
+    EXPECT_EQ(a[i].labels, b[i].labels) << "job " << i;
+    EXPECT_EQ(a[i].total_bits_broadcast, b[i].total_bits_broadcast) << "job " << i;
+    EXPECT_EQ(a[i].stats.total_bits, b[i].stats.total_bits) << "job " << i;
+    EXPECT_EQ(a[i].stats.rounds, b[i].stats.rounds) << "job " << i;
+    ASSERT_EQ(a[i].transcript.num_vertices(), b[i].transcript.num_vertices()) << "job " << i;
+    for (VertexId v = 0; v < a[i].transcript.num_vertices(); ++v) {
+      EXPECT_EQ(a[i].transcript.sent_string(v), b[i].transcript.sent_string(v))
+          << "job " << i << " vertex " << v;
+    }
+  }
+}
+
+TEST(BatchRunner, ParallelBitIdenticalToSerialForAnyThreadCount) {
+  const PublicCoins coins(2026, 4096);
+  const std::vector<BatchJob> jobs = make_jobs(&coins);
+
+  // Serial reference: one engine, a plain loop, job order.
+  std::vector<RunResult> serial;
+  RoundEngine engine;
+  for (const BatchJob& job : jobs) {
+    serial.push_back(
+        engine.run(job.instance, job.bandwidth, job.factory, job.max_rounds, job.coins));
+  }
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    const BatchRunner runner(threads);
+    EXPECT_EQ(runner.num_threads(), threads);
+    expect_identical(serial, runner.run(jobs));
+  }
+}
+
+TEST(BatchRunner, RepeatedParallelRunsAreStable) {
+  const PublicCoins coins(7, 4096);
+  const std::vector<BatchJob> jobs = make_jobs(&coins);
+  const BatchRunner runner(8);
+  expect_identical(runner.run(jobs), runner.run(jobs));
+}
+
+TEST(BatchRunner, ForEachVisitsEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 8u}) {
+    const BatchRunner runner(threads);
+    std::vector<int> visits(257, 0);
+    runner.for_each(visits.size(), [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < visits.size(); ++i) EXPECT_EQ(visits[i], 1) << i;
+  }
+}
+
+TEST(BatchRunner, ForEachWithEngineMatchesSerialRuns) {
+  Rng rng(9);
+  std::vector<BccInstance> instances;
+  for (std::size_t i = 0; i < 16; ++i) {
+    instances.push_back(BccInstance::kt1(random_gnp(6 + (i % 4), 0.5, rng)));
+  }
+  const unsigned cap = BoruvkaAlgorithm::max_rounds(9, 2);
+
+  std::vector<std::uint64_t> serial_bits(instances.size());
+  RoundEngine engine;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    serial_bits[i] = engine.run(instances[i], 2, boruvka_factory(), cap).total_bits_broadcast;
+  }
+
+  for (unsigned threads : {2u, 8u}) {
+    const BatchRunner runner(threads);
+    std::vector<std::uint64_t> parallel_bits(instances.size());
+    runner.for_each_with_engine(instances.size(), [&](std::size_t i, RoundEngine& eng) {
+      parallel_bits[i] = eng.run(instances[i], 2, boruvka_factory(), cap).total_bits_broadcast;
+    });
+    EXPECT_EQ(parallel_bits, serial_bits);
+  }
+}
+
+TEST(BatchRunner, LowestIndexExceptionWinsAndPoolSurvives) {
+  const BatchRunner runner(8);
+  // Several jobs throw; the rethrown exception must be the lowest-indexed
+  // one (matching what a serial loop would hit first).
+  try {
+    runner.for_each(64, [&](std::size_t i) {
+      if (i == 11 || i == 3 || i == 60) {
+        throw std::runtime_error("job " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job 3");
+  }
+  // The runner is unaffected by the failed batch.
+  std::vector<int> visits(8, 0);
+  runner.for_each(visits.size(), [&](std::size_t i) { ++visits[i]; });
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(BatchRunner, EmptyBatchIsANoOp) {
+  const BatchRunner runner(4);
+  EXPECT_TRUE(runner.run({}).empty());
+  runner.for_each(0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+}  // namespace
+}  // namespace bcclb

@@ -1,0 +1,171 @@
+// RoundEngine edge cases: exception safety on bandwidth violations, round
+// limits with unfinished vertices, buffer reuse across heterogeneous runs,
+// and the n = 2 minimal instance.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bcc/algorithms/boruvka.h"
+#include "bcc/algorithms/min_id_flood.h"
+#include "bcc/round_engine.h"
+#include "common/random.h"
+#include "graph/generators.h"
+
+namespace bcclb {
+namespace {
+
+// Broadcasts 1 bit in round 0, then `width` bits from round 1 on — lets a
+// test trip the bandwidth check mid-run, after the engine has already staged
+// a full round. Never finishes on its own.
+class WidthRampAlgorithm final : public VertexAlgorithm {
+ public:
+  explicit WidthRampAlgorithm(unsigned width) : width_(width) {}
+  void init(const LocalView&) override {}
+  Message broadcast(unsigned round) override {
+    return round == 0 ? Message::one_bit(true) : Message::bits((1u << width_) - 1, width_);
+  }
+  void receive(unsigned, std::span<const Message>) override {}
+  bool finished() const override { return false; }
+  bool decide() const override { return true; }
+
+ private:
+  unsigned width_;
+};
+
+AlgorithmFactory width_ramp_factory(unsigned width) {
+  return [width] { return std::make_unique<WidthRampAlgorithm>(width); };
+}
+
+// Broadcasts its lowest ID bit forever; finished() is always false, so runs
+// only stop at the round limit.
+class NeverFinishesAlgorithm final : public VertexAlgorithm {
+ public:
+  void init(const LocalView& view) override { bit_ = (view.id & 1) != 0; }
+  Message broadcast(unsigned) override { return Message::one_bit(bit_); }
+  void receive(unsigned, std::span<const Message>) override {}
+  bool finished() const override { return false; }
+  bool decide() const override { return false; }
+
+ private:
+  bool bit_ = false;
+};
+
+AlgorithmFactory never_finishes_factory() {
+  return [] { return std::make_unique<NeverFinishesAlgorithm>(); };
+}
+
+TEST(RoundEngine, BandwidthViolationThrowsAndEngineStaysUsable) {
+  Rng rng(7);
+  const BccInstance instance = BccInstance::kt1(random_gnp(8, 0.5, rng));
+
+  RoundEngine engine;
+  // Round 0 fits in b = 1; round 1 broadcasts 3 bits and must throw.
+  EXPECT_THROW(engine.run(instance, 1, width_ramp_factory(3), 10), std::invalid_argument);
+  EXPECT_FALSE(engine.running());
+
+  // The engine must be immediately reusable and produce results identical to
+  // a fresh engine's: the throw may not leave stale rounds, vertices or
+  // counters behind in the reused buffers.
+  RoundEngine fresh;
+  const unsigned cap = MinIdFloodAlgorithm::rounds_needed(8);
+  const RunResult reused = engine.run(instance, 3, min_id_flood_factory(), cap);
+  const RunResult baseline = fresh.run(instance, 3, min_id_flood_factory(), cap);
+  EXPECT_EQ(reused.rounds_executed, baseline.rounds_executed);
+  EXPECT_EQ(reused.decision, baseline.decision);
+  EXPECT_EQ(reused.total_bits_broadcast, baseline.total_bits_broadcast);
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(reused.transcript.sent_string(v), baseline.transcript.sent_string(v));
+  }
+}
+
+TEST(RoundEngine, RepeatedViolationsNeverWedgeTheEngine) {
+  Rng rng(11);
+  const BccInstance instance = BccInstance::kt1(random_gnp(6, 0.5, rng));
+  RoundEngine engine;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(engine.run(instance, 1, width_ramp_factory(2), 5), std::invalid_argument);
+    EXPECT_FALSE(engine.running());
+  }
+  const RunResult ok =
+      engine.run(instance, 3, min_id_flood_factory(), MinIdFloodAlgorithm::rounds_needed(6));
+  EXPECT_TRUE(ok.all_finished);
+}
+
+TEST(RoundEngine, RoundLimitWithUnfinishedVertices) {
+  Rng rng(3);
+  const BccInstance instance = BccInstance::kt1(random_gnp(5, 0.6, rng));
+  RoundEngine engine;
+  const RunResult r = engine.run(instance, 1, never_finishes_factory(), 7);
+  EXPECT_EQ(r.rounds_executed, 7u);
+  EXPECT_FALSE(r.all_finished);
+  EXPECT_FALSE(r.decision);
+  // The transcript is sized to the rounds actually executed — exactly 7.
+  EXPECT_EQ(r.transcript.num_rounds(), 7u);
+  EXPECT_EQ(r.transcript.num_vertices(), 5u);
+  // Every vertex broadcast one bit per round.
+  EXPECT_EQ(r.total_bits_broadcast, 7u * 5u);
+  EXPECT_EQ(r.stats.rounds, 7u);
+  EXPECT_EQ(r.stats.total_bits, r.total_bits_broadcast);
+}
+
+TEST(RoundEngine, ZeroRoundLimitExecutesNothing) {
+  Rng rng(5);
+  const BccInstance instance = BccInstance::kt1(random_gnp(4, 0.5, rng));
+  RoundEngine engine;
+  const RunResult r = engine.run(instance, 1, never_finishes_factory(), 0);
+  EXPECT_EQ(r.rounds_executed, 0u);
+  EXPECT_EQ(r.transcript.num_rounds(), 0u);
+  EXPECT_EQ(r.total_bits_broadcast, 0u);
+}
+
+TEST(RoundEngine, MinimalTwoVertexInstance) {
+  const BccInstance instance = BccInstance::kt1(path_graph(2));
+  RoundEngine engine;
+  const RunResult r =
+      engine.run(instance, 1, min_id_flood_factory(), MinIdFloodAlgorithm::rounds_needed(2));
+  EXPECT_TRUE(r.all_finished);
+  EXPECT_TRUE(r.decision);  // a single edge is connected
+}
+
+TEST(RoundEngine, BuffersGrowAcrossRunsButRemainCorrect) {
+  // Alternate between a small and a larger instance on one engine; results
+  // must match fresh-engine runs each time (buffers are reused, never stale).
+  Rng rng(19);
+  const BccInstance small = BccInstance::kt1(random_gnp(4, 0.7, rng));
+  const BccInstance large = BccInstance::kt1(random_gnp(12, 0.4, rng));
+  RoundEngine engine;
+  for (int iter = 0; iter < 2; ++iter) {
+    for (const BccInstance* inst : {&small, &large}) {
+      const std::size_t n = inst->num_vertices();
+      const unsigned cap = BoruvkaAlgorithm::max_rounds(n, 2);
+      RoundEngine fresh;
+      const RunResult a = engine.run(*inst, 2, boruvka_factory(), cap);
+      const RunResult b = fresh.run(*inst, 2, boruvka_factory(), cap);
+      EXPECT_EQ(a.decision, b.decision);
+      EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+      for (VertexId v = 0; v < n; ++v) {
+        EXPECT_EQ(a.transcript.sent_string(v), b.transcript.sent_string(v));
+      }
+    }
+  }
+  EXPECT_GT(engine.buffer_bytes(), 0u);
+}
+
+TEST(RoundEngine, ReserveIsIdempotentWithRun) {
+  Rng rng(23);
+  const BccInstance instance = BccInstance::kt1(random_gnp(9, 0.5, rng));
+  RoundEngine reserved;
+  reserved.reserve(9, 16);
+  RoundEngine lazy;
+  const unsigned cap = MinIdFloodAlgorithm::rounds_needed(9);
+  const RunResult a = reserved.run(instance, 4, min_id_flood_factory(), cap);
+  const RunResult b = lazy.run(instance, 4, min_id_flood_factory(), cap);
+  EXPECT_EQ(a.decision, b.decision);
+  EXPECT_EQ(a.total_bits_broadcast, b.total_bits_broadcast);
+  for (VertexId v = 0; v < 9; ++v) {
+    EXPECT_EQ(a.transcript.sent_string(v), b.transcript.sent_string(v));
+  }
+}
+
+}  // namespace
+}  // namespace bcclb
