@@ -1,11 +1,13 @@
 #include "bcc/batch_runner.h"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <thread>
 
 #include "common/check.h"
+#include "common/errors.h"
 
 namespace bcclb {
 
@@ -14,11 +16,37 @@ BatchRunner::BatchRunner(unsigned num_threads)
 
 unsigned BatchRunner::default_threads() {
   if (const char* env = std::getenv("BCCLB_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1 && parsed <= 256) return static_cast<unsigned>(parsed);
+    // Strict whole-string parse: strtol alone would accept leading
+    // whitespace and "7x"-style prefixes. Malformed, zero, negative or
+    // overflowing values fall through to the hardware default instead of
+    // being trusted; in-range values clamp to [1, 256].
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env, &end, 10);
+    const bool numeric =
+        env[0] >= '0' && env[0] <= '9' && end != env && *end == '\0' && errno != ERANGE;
+    if (numeric && parsed >= 1) {
+      return static_cast<unsigned>(parsed > 256 ? 256 : parsed);
+    }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+const char* job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kTimedOut: return "timed-out";
+  }
+  return "?";
+}
+
+std::size_t BatchReport::first_failure() const {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!jobs[i].ok()) return i;
+  }
+  return jobs.size();
 }
 
 void BatchRunner::for_each_with_engine(
@@ -71,13 +99,78 @@ void BatchRunner::for_each(std::size_t count,
   for_each_with_engine(count, [&body](std::size_t i, RoundEngine&) { body(i); });
 }
 
+namespace {
+
+RunOptions options_for(const BatchJob& job, const BatchPolicy& policy, unsigned attempt) {
+  RunOptions options;
+  options.coins = job.coins;
+  if (!job.faults.empty()) options.faults = &job.faults;
+  options.attempt = attempt;
+  options.deadline_ns = job.deadline_ns != 0 ? job.deadline_ns : policy.job_timeout_ns;
+  options.require_all_finished = job.require_all_finished;
+  return options;
+}
+
+}  // namespace
+
 std::vector<RunResult> BatchRunner::run(const std::vector<BatchJob>& jobs) const {
   std::vector<RunResult> results(jobs.size());
   for_each_with_engine(jobs.size(), [&](std::size_t i, RoundEngine& engine) {
     const BatchJob& job = jobs[i];
-    results[i] = engine.run(job.instance, job.bandwidth, job.factory, job.max_rounds, job.coins);
+    RunOptions options;
+    options.coins = job.coins;
+    if (!job.faults.empty()) options.faults = &job.faults;
+    options.deadline_ns = job.deadline_ns;
+    options.require_all_finished = job.require_all_finished;
+    results[i] = engine.run(job.instance, job.bandwidth, job.factory, job.max_rounds, options);
   });
   return results;
+}
+
+BatchReport BatchRunner::run_reported(const std::vector<BatchJob>& jobs,
+                                      const BatchPolicy& policy) const {
+  BatchReport report;
+  report.jobs.resize(jobs.size());
+  // The body never throws: every per-attempt exception is folded into the
+  // job's own outcome slot, so one poisoned job cannot sink the batch.
+  for_each_with_engine(jobs.size(), [&](std::size_t i, RoundEngine& engine) {
+    const BatchJob& job = jobs[i];
+    JobOutcome& out = report.jobs[i];
+    for (unsigned attempt = 0;; ++attempt) {
+      out.attempts = attempt + 1;
+      bool transient = false;
+      try {
+        out.result = engine.run(job.instance, job.bandwidth, job.factory, job.max_rounds,
+                                options_for(job, policy, attempt));
+        out.status = JobStatus::kOk;
+        out.error.clear();
+        out.error_kind.clear();
+        return;
+      } catch (const JobTimeoutError& e) {
+        out.status = JobStatus::kTimedOut;
+        out.error = e.what();
+        out.error_kind = e.kind();
+      } catch (const BcclbError& e) {
+        out.status = JobStatus::kFailed;
+        out.error = e.what();
+        out.error_kind = e.kind();
+        transient = e.transient();
+      } catch (const std::exception& e) {
+        out.status = JobStatus::kFailed;
+        out.error = e.what();
+        out.error_kind = "std::exception";
+      }
+      if (!transient || attempt >= policy.max_retries) return;
+    }
+  });
+  for (const JobOutcome& out : report.jobs) {
+    switch (out.status) {
+      case JobStatus::kOk: ++report.num_ok; break;
+      case JobStatus::kFailed: ++report.num_failed; break;
+      case JobStatus::kTimedOut: ++report.num_timed_out; break;
+    }
+  }
+  return report;
 }
 
 }  // namespace bcclb

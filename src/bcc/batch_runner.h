@@ -10,25 +10,76 @@
 // randomness comes from per-job seeds or a read-only public-coin string, and
 // nothing about scheduling feeds back into a run.
 //
-// Exceptions thrown by a job are captured and rethrown on the calling thread
-// for the lowest-indexed failing job, after all workers have drained.
+// Two failure disciplines:
+//   run()          — exceptions thrown by a job are captured and rethrown on
+//                    the calling thread for the lowest-indexed failing job,
+//                    after all workers have drained (all-or-nothing).
+//   run_reported() — every job gets a per-job JobStatus in a BatchReport;
+//                    one poisoned job costs one slot, not the whole sweep.
+//                    Supports a per-job wall-clock watchdog and an opt-in
+//                    bounded retry for transient (injected-fault) failures.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "bcc/round_engine.h"
 
 namespace bcclb {
 
-// One independent simulator run.
+// One independent simulator run. The fault plan and watchdog fields default
+// to "off", so pre-fault-layer brace initializers keep working unchanged.
 struct BatchJob {
   BccInstance instance;
   AlgorithmFactory factory;
   unsigned bandwidth = 1;
   unsigned max_rounds = 0;
   CoinSpec coins{};
+  FaultPlan faults{};               // empty = fault-free
+  std::uint64_t deadline_ns = 0;    // per-job watchdog; 0 = policy default
+  bool require_all_finished = false;
+};
+
+enum class JobStatus : std::uint8_t {
+  kOk,        // result is valid
+  kFailed,    // the run threw; error/error_kind describe the final attempt
+  kTimedOut,  // the watchdog killed the run (JobTimeoutError)
+};
+
+const char* job_status_name(JobStatus status);
+
+struct JobOutcome {
+  JobStatus status = JobStatus::kOk;
+  RunResult result;        // meaningful iff status == kOk
+  std::string error;       // what() of the final failed attempt
+  std::string error_kind;  // BcclbError::kind(), or the typeid-style fallback
+  unsigned attempts = 0;   // executions, including retries
+
+  bool ok() const { return status == JobStatus::kOk; }
+};
+
+struct BatchReport {
+  std::vector<JobOutcome> jobs;
+  std::size_t num_ok = 0;
+  std::size_t num_failed = 0;
+  std::size_t num_timed_out = 0;
+
+  bool all_ok() const { return num_ok == jobs.size(); }
+  // Lowest-indexed non-ok job, or jobs.size() when all succeeded.
+  std::size_t first_failure() const;
+};
+
+// Failure policy for run_reported.
+struct BatchPolicy {
+  // Default per-job watchdog (overridden by a job's own deadline_ns); 0
+  // disables.
+  std::uint64_t job_timeout_ns = 0;
+  // Extra attempts for jobs whose failure is transient (BcclbError::
+  // transient(), i.e. an injected fault); transient FaultPlans are disabled
+  // from attempt 1 on, so the retry re-executes fault-free.
+  unsigned max_retries = 0;
 };
 
 class BatchRunner {
@@ -39,13 +90,21 @@ class BatchRunner {
   explicit BatchRunner(unsigned num_threads = 0);
 
   // BCCLB_THREADS environment override, else std::thread::hardware_concurrency.
+  // Malformed values (non-numeric, trailing garbage, zero, negative, or
+  // overflowing) are ignored; valid values clamp to [1, 256].
   static unsigned default_threads();
 
   unsigned num_threads() const { return threads_; }
 
   // Runs every job; results[i] is job i's result regardless of which worker
-  // executed it or in what order.
+  // executed it or in what order. Rethrows the lowest-indexed job failure.
   std::vector<RunResult> run(const std::vector<BatchJob>& jobs) const;
+
+  // Failure-isolating variant: every job reports its own status and the
+  // batch always returns. report.jobs[i] is job i's outcome; valid results
+  // of the other jobs survive one crashing job.
+  BatchReport run_reported(const std::vector<BatchJob>& jobs,
+                           const BatchPolicy& policy = {}) const;
 
   // Generic deterministic parallel-for over [0, count): `body(i)` must write
   // only to index-i slots of caller-owned storage. This is what engines use

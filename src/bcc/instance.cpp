@@ -48,6 +48,24 @@ std::uint64_t BccInstance::id_of(VertexId v) const {
   return ids_[v];
 }
 
+std::uint64_t BccInstance::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t x) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (x >> (byte * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(num_vertices());
+  mix(static_cast<std::uint64_t>(mode_));
+  for (std::uint64_t id : ids_) mix(id);
+  for (const Edge& e : input_.edges()) mix((static_cast<std::uint64_t>(e.u) << 32) | e.v);
+  for (const auto& row : wiring_.tables()) {
+    for (VertexId peer : row) mix(peer);
+  }
+  return h;
+}
+
 std::vector<Port> BccInstance::input_ports(VertexId v) const {
   std::vector<Port> ports;
   for (VertexId u : input_.neighbors(v)) {

@@ -46,6 +46,12 @@ class BccInstance {
   // Ports of v that carry input edges, sorted.
   std::vector<Port> input_ports(VertexId v) const;
 
+  // A stable FNV-1a fingerprint of (n, mode, IDs, input edges, wiring):
+  // identifies the instance in error contexts and fault-injection logs
+  // without hauling the instance itself around. O(n^2) over the wiring, so
+  // call it on error/report paths, not per round.
+  std::uint64_t digest() const;
+
  private:
   Wiring wiring_;
   Graph input_;

@@ -3,15 +3,19 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/errors.h"
 
 namespace bcclb {
 
 RangeSimulator::RangeSimulator(BccInstance instance, unsigned range, unsigned bandwidth,
                                const PublicCoins* coins)
     : instance_(std::move(instance)), range_(range), bandwidth_(bandwidth), coins_(coins) {
-  BCCLB_REQUIRE(range >= 1 && range <= instance_.num_vertices() - 1,
-                "range must be in [1, n-1]");
-  BCCLB_REQUIRE(bandwidth >= 1 && bandwidth <= 64, "bandwidth must be in [1, 64]");
+  if (range < 1 || range > instance_.num_vertices() - 1) {
+    throw RangeViolationError("range must be in [1, n-1]", {instance_.digest(), -1, -1});
+  }
+  if (bandwidth < 1 || bandwidth > 64) {
+    throw BandwidthViolationError("bandwidth must be in [1, 64]", {instance_.digest(), -1, -1});
+  }
 }
 
 RangeRunResult RangeSimulator::run(const RangeAlgorithmFactory& factory,
@@ -44,18 +48,29 @@ RangeRunResult RangeSimulator::run(const RangeAlgorithmFactory& factory,
       break;
     }
     for (VertexId v = 0; v < n; ++v) {
+      // The digest walk is O(n^2), so the context is built on throw only.
+      const auto ctx = [&] {
+        return ErrorContext{instance_.digest(), static_cast<std::int64_t>(v),
+                            static_cast<std::int64_t>(t)};
+      };
       outboxes[v] = vertices[v]->send(t);
-      BCCLB_REQUIRE(outboxes[v].size() == n - 1, "outbox must cover every port");
+      if (outboxes[v].size() != n - 1) {
+        throw BcclbError("outbox must cover every port", ctx());
+      }
       // Enforce the range budget: at most r distinct non-silent values.
       std::vector<Message> distinct;
       for (const Message& m : outboxes[v]) {
-        BCCLB_REQUIRE(m.num_bits() <= bandwidth_, "message exceeds the bandwidth budget");
+        if (m.num_bits() > bandwidth_) {
+          throw BandwidthViolationError("message exceeds the bandwidth budget", ctx());
+        }
         if (m.is_silent()) continue;
         if (std::find(distinct.begin(), distinct.end(), m) == distinct.end()) {
           distinct.push_back(m);
         }
       }
-      BCCLB_REQUIRE(distinct.size() <= range_, "round uses more distinct messages than the range");
+      if (distinct.size() > range_) {
+        throw RangeViolationError("round uses more distinct messages than the range", ctx());
+      }
       for (const Message& m : distinct) result.total_bits_sent += m.num_bits();
     }
     // Delivery: v's inbox[p] is what the peer behind port p sent to v.

@@ -1,8 +1,10 @@
 #include "bcc/round_engine.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/check.h"
+#include "common/errors.h"
 
 namespace bcclb {
 
@@ -41,15 +43,33 @@ std::size_t RoundEngine::buffer_bytes() const {
 RunResult RoundEngine::run(const BccInstance& instance, unsigned bandwidth,
                            const AlgorithmFactory& factory, unsigned max_rounds,
                            const CoinSpec& coins) {
+  RunOptions options;
+  options.coins = coins;
+  return run(instance, bandwidth, factory, max_rounds, options);
+}
+
+RunResult RoundEngine::run(const BccInstance& instance, unsigned bandwidth,
+                           const AlgorithmFactory& factory, unsigned max_rounds,
+                           const RunOptions& options) {
   const auto start = std::chrono::steady_clock::now();
   const std::size_t n = instance.num_vertices();
+  const CoinSpec& coins = options.coins;
   BCCLB_REQUIRE(n >= 2, "need at least 2 vertices");
-  BCCLB_REQUIRE(bandwidth >= 1 && bandwidth <= 64, "bandwidth must be in [1, 64]");
+  if (bandwidth < 1 || bandwidth > 64) {
+    throw BandwidthViolationError("bandwidth must be in [1, 64]");
+  }
   BCCLB_REQUIRE(!running_, "RoundEngine::run is not reentrant");
   running_ = true;
   RunGuard guard{&running_, &vertices_};
 
   const std::size_t ports = n - 1;
+
+  // The fault hook. The digest is computed only when faults are in play (it
+  // walks the instance once); fault-free runs take none of these branches.
+  std::optional<FaultInjector> injector;
+  if (options.faults != nullptr && !options.faults->empty()) {
+    injector.emplace(*options.faults, n, bandwidth, instance.digest(), options.attempt);
+  }
 
   // Per-run tables, into reused storage. The flat peer table turns the inner
   // delivery loop into bounds-free index lookups (the Wiring accessor walks
@@ -96,11 +116,28 @@ RunResult RoundEngine::run(const BccInstance& instance, unsigned bandwidth,
   inbox_.assign(ports, Message::silent());
   sent_staging_.clear();
 
+  // A crash-stopped vertex counts as finished: it will never broadcast
+  // again, so waiting on it would only burn rounds to the cap.
+  const auto vertex_done = [&](VertexId v, unsigned round) {
+    return vertices_[v]->finished() || (injector && injector->crashed(v, round));
+  };
+
   unsigned t = 0;
   for (; t < max_rounds; ++t) {
-    const bool everyone_done = std::all_of(vertices_.begin(), vertices_.end(),
-                                           [](const auto& v) { return v->finished(); });
+    bool everyone_done = true;
+    for (VertexId v = 0; v < n && everyone_done; ++v) {
+      everyone_done = vertex_done(v, t);
+    }
     if (everyone_done) break;
+
+    if (options.deadline_ns != 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start);
+      if (static_cast<std::uint64_t>(elapsed.count()) >= options.deadline_ns) {
+        throw JobTimeoutError("watchdog deadline expired after " + std::to_string(t) + " rounds",
+                              {instance.digest(), -1, static_cast<std::int64_t>(t)});
+      }
+    }
 
     // Collect this round's broadcasts into the shared outbox and stage the
     // transcript row; the transcript object itself is built once at the end,
@@ -110,8 +147,14 @@ RunResult RoundEngine::run(const BccInstance& instance, unsigned bandwidth,
     }
     for (VertexId v = 0; v < n; ++v) {
       outbox_[v] = vertices_[v]->broadcast(t);
-      BCCLB_REQUIRE(outbox_[v].num_bits() <= bandwidth,
-                    "broadcast exceeds the bandwidth budget");
+      // Faults rewrite the wire, not the algorithm: the transcript records
+      // what was actually broadcast, so faulty runs replay bit-identically.
+      if (injector) outbox_[v] = injector->apply(t, v, outbox_[v]);
+      if (outbox_[v].num_bits() > bandwidth) {
+        throw BandwidthViolationError(
+            "broadcast exceeds the bandwidth budget",
+            {instance.digest(), static_cast<std::int64_t>(v), static_cast<std::int64_t>(t)});
+      }
       result.total_bits_broadcast += outbox_[v].num_bits();
     }
     sent_staging_.insert(sent_staging_.end(), outbox_.begin(), outbox_.end());
@@ -133,8 +176,19 @@ RunResult RoundEngine::run(const BccInstance& instance, unsigned bandwidth,
       result.transcript.record(v, r, sent_staging_[static_cast<std::size_t>(r) * n + v]);
     }
   }
-  result.all_finished = std::all_of(vertices_.begin(), vertices_.end(),
-                                    [](const auto& v) { return v->finished(); });
+  result.all_finished = true;
+  for (VertexId v = 0; v < n && result.all_finished; ++v) {
+    result.all_finished = vertex_done(v, t);
+  }
+  if (injector) {
+    result.faults_applied = injector->take_log();
+    result.crashed_vertices = injector->crashed_by(t);
+  }
+  if (options.require_all_finished && !result.all_finished) {
+    throw RoundLimitError(
+        "run hit the round limit (" + std::to_string(max_rounds) + ") before every vertex finished",
+        {instance.digest(), -1, static_cast<std::int64_t>(t)});
+  }
   result.vertex_decisions.reserve(n);
   result.labels.reserve(n);
   result.decision = true;

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "bcc/faults.h"
 #include "bcc/instance.h"
 #include "bcc/message.h"
 #include "bcc/transcript.h"
@@ -72,6 +73,33 @@ struct CoinSpec {
   }
 };
 
+// Everything beyond the positional arguments one run can be configured
+// with. Default-constructed options reproduce the plain run() overload
+// bit-for-bit: no faults, no watchdog, round-limit exhaustion is reported in
+// the result rather than thrown.
+struct RunOptions {
+  CoinSpec coins{};
+
+  // Fault schedule; nullptr (or an empty plan) runs fault-free. The plan
+  // must outlive the run.
+  const FaultPlan* faults = nullptr;
+
+  // Retry attempt index, forwarded to the FaultInjector so transient plans
+  // fire on attempt 0 only (see FaultPlan::set_transient).
+  unsigned attempt = 0;
+
+  // Watchdog: wall-clock budget for this run in nanoseconds; 0 disables.
+  // Checked once per round (a run cannot be preempted mid-callback), throws
+  // JobTimeoutError. Timing-dependent by nature — only the *timeout* is
+  // nondeterministic, never the transcript of a run that completes.
+  std::uint64_t deadline_ns = 0;
+
+  // Strict mode: throw RoundLimitError when max_rounds elapse with a
+  // (non-crashed) vertex still unfinished, instead of returning
+  // all_finished = false.
+  bool require_all_finished = false;
+};
+
 // Per-run observability: what one execution cost.
 struct RunStats {
   unsigned rounds = 0;
@@ -89,6 +117,11 @@ struct RunResult {
   Transcript transcript{0, 0};
   std::uint64_t total_bits_broadcast = 0;
   RunStats stats;
+  // Fault-injection audit trail: every event the injector applied, in round
+  // order, plus the vertices the plan crash-stopped (ascending). Both empty
+  // for fault-free runs.
+  std::vector<AppliedFault> faults_applied;
+  std::vector<VertexId> crashed_vertices;
   // Final vertex states, for algorithms with richer outputs than a decision
   // (e.g. the MST edge set). Move-only.
   std::vector<std::unique_ptr<VertexAlgorithm>> agents;
@@ -117,6 +150,13 @@ class RoundEngine {
   RunResult run(const BccInstance& instance, unsigned bandwidth,
                 const AlgorithmFactory& factory, unsigned max_rounds,
                 const CoinSpec& coins = {});
+
+  // Full-control overload: fault injection, watchdog deadline and strict
+  // round-limit semantics (see RunOptions). Default options make this
+  // bit-identical to the overload above.
+  RunResult run(const BccInstance& instance, unsigned bandwidth,
+                const AlgorithmFactory& factory, unsigned max_rounds,
+                const RunOptions& options);
 
   // Stats of the most recent completed run.
   const RunStats& last_stats() const { return stats_; }

@@ -1,12 +1,15 @@
 #include "bcc/simulator.h"
 
 #include "common/check.h"
+#include "common/errors.h"
 
 namespace bcclb {
 
 BccSimulator::BccSimulator(BccInstance instance, unsigned bandwidth, const PublicCoins* coins)
     : instance_(std::move(instance)), bandwidth_(bandwidth), coins_(coins) {
-  BCCLB_REQUIRE(bandwidth >= 1 && bandwidth <= 64, "bandwidth must be in [1, 64]");
+  if (bandwidth < 1 || bandwidth > 64) {
+    throw BandwidthViolationError("bandwidth must be in [1, 64]", {instance_.digest(), -1, -1});
+  }
 }
 
 void BccSimulator::use_private_coins(std::uint64_t seed, std::size_t bits_per_vertex) {

@@ -52,6 +52,26 @@ std::uint64_t Transcript::total_bits() const {
   return bits;
 }
 
+std::uint64_t Transcript::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t x) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (x >> (byte * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(sent_.size());
+  mix(rounds_);
+  for (const auto& msgs : sent_) {
+    for (const Message& m : msgs) {
+      mix(m.is_silent() ? 0x5117ULL : 1ULL);
+      mix(m.num_bits());
+      mix(m.is_silent() ? 0 : m.value());
+    }
+  }
+  return h;
+}
+
 std::string vertex_state_signature(const BccInstance& instance, const Transcript& transcript,
                                    VertexId v) {
   BCCLB_REQUIRE(v < instance.num_vertices(), "vertex out of range");

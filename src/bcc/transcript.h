@@ -44,6 +44,12 @@ class Transcript {
 
   std::uint64_t total_bits() const;
 
+  // A stable FNV-1a fingerprint of the whole transcript (n, rounds, every
+  // message's silence/length/bits). Two runs are replay-identical iff their
+  // digests match — the cheap comparison behind replay verification
+  // (core/fault_tolerance) and the batch determinism tests.
+  std::uint64_t digest() const;
+
  private:
   std::vector<std::vector<Message>> sent_;  // sent_[v][t]
   unsigned rounds_;

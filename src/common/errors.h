@@ -1,0 +1,112 @@
+// Typed error taxonomy for the bcc_lb library.
+//
+// Every failure a run can produce carries machine-readable context — which
+// instance (by digest), which vertex, which round — so a thousand-job sweep
+// can report *what* failed instead of an anonymous what() string. The base
+// class derives from std::invalid_argument because that is the exception
+// contract the library has always exposed for model violations (bandwidth
+// overruns, malformed outboxes); existing catch sites and tests that expect
+// std::invalid_argument keep working, while new code can catch BcclbError
+// (or a leaf type) and read the structured context.
+//
+// Leaves:
+//   BandwidthViolationError — a broadcast exceeded the b-bit budget
+//   RoundLimitError         — a strict run hit max_rounds before finishing
+//   FaultInjectionError     — an injected fault produced an invalid message
+//                             (transient: a retry without the fault succeeds)
+//   JobTimeoutError         — a watchdog deadline expired mid-run
+//   RangeViolationError     — an RCC(r, b) round used more than r values
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace bcclb {
+
+// Where an error happened. Fields left at their defaults mean "not
+// applicable" and are omitted from the formatted message.
+struct ErrorContext {
+  std::uint64_t instance_digest = 0;  // BccInstance::digest(); 0 = unknown
+  std::int64_t vertex = -1;           // -1 = no single vertex
+  std::int64_t round = -1;            // -1 = outside the round loop
+};
+
+namespace detail {
+
+inline std::string format_error(const std::string& what, const ErrorContext& ctx) {
+  std::string out = what;
+  if (ctx.instance_digest != 0 || ctx.vertex >= 0 || ctx.round >= 0) {
+    out += " [";
+    bool first = true;
+    const auto append = [&](const std::string& field) {
+      if (!first) out += ", ";
+      out += field;
+      first = false;
+    };
+    if (ctx.instance_digest != 0) {
+      char hex[32];
+      std::snprintf(hex, sizeof(hex), "%016llx",
+                    static_cast<unsigned long long>(ctx.instance_digest));
+      append(std::string("instance=") + hex);
+    }
+    if (ctx.vertex >= 0) append("vertex " + std::to_string(ctx.vertex));
+    if (ctx.round >= 0) append("round " + std::to_string(ctx.round));
+    out += "]";
+  }
+  return out;
+}
+
+}  // namespace detail
+
+class BcclbError : public std::invalid_argument {
+ public:
+  explicit BcclbError(const std::string& what, const ErrorContext& ctx = {})
+      : std::invalid_argument(detail::format_error(what, ctx)), ctx_(ctx) {}
+
+  const ErrorContext& context() const noexcept { return ctx_; }
+
+  // Short type tag for reports and logs ("BandwidthViolationError", ...).
+  virtual const char* kind() const noexcept { return "BcclbError"; }
+
+  // True when re-running the job without the triggering condition (an
+  // injected fault) can succeed; BatchRunner's bounded retry keys off this.
+  virtual bool transient() const noexcept { return false; }
+
+ private:
+  ErrorContext ctx_;
+};
+
+class BandwidthViolationError : public BcclbError {
+ public:
+  using BcclbError::BcclbError;
+  const char* kind() const noexcept override { return "BandwidthViolationError"; }
+};
+
+class RoundLimitError : public BcclbError {
+ public:
+  using BcclbError::BcclbError;
+  const char* kind() const noexcept override { return "RoundLimitError"; }
+};
+
+class FaultInjectionError : public BcclbError {
+ public:
+  using BcclbError::BcclbError;
+  const char* kind() const noexcept override { return "FaultInjectionError"; }
+  bool transient() const noexcept override { return true; }
+};
+
+class JobTimeoutError : public BcclbError {
+ public:
+  using BcclbError::BcclbError;
+  const char* kind() const noexcept override { return "JobTimeoutError"; }
+};
+
+class RangeViolationError : public BcclbError {
+ public:
+  using BcclbError::BcclbError;
+  const char* kind() const noexcept override { return "RangeViolationError"; }
+};
+
+}  // namespace bcclb

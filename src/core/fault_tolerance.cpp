@@ -1,0 +1,223 @@
+#include "core/fault_tolerance.h"
+
+#include <algorithm>
+#include <iterator>
+#include <optional>
+
+#include "bcc/algorithms/boruvka.h"
+#include "bcc/algorithms/min_id_flood.h"
+#include "bcc/algorithms/sketch_connectivity.h"
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "graph/generators.h"
+
+namespace bcclb {
+
+namespace {
+
+constexpr FaultSweepAlgorithm kAlgorithms[] = {
+    FaultSweepAlgorithm::kMinIdFlood, FaultSweepAlgorithm::kBoruvka, FaultSweepAlgorithm::kSketch};
+constexpr FaultKind kSweptKinds[] = {FaultKind::kCrashStop, FaultKind::kDropBroadcast,
+                                     FaultKind::kFlipBits};
+
+FaultCounts counts_for(FaultKind kind, unsigned f) {
+  FaultCounts counts;
+  switch (kind) {
+    case FaultKind::kCrashStop: counts.crashes = f; break;
+    case FaultKind::kDropBroadcast: counts.drops = f; break;
+    case FaultKind::kFlipBits: counts.flips = f; break;
+    case FaultKind::kByzantineReplace: counts.byzantine = f; break;
+  }
+  return counts;
+}
+
+// A distinct, deterministic seed per plan in the sweep.
+std::uint64_t plan_seed(std::uint64_t base, unsigned algorithm, unsigned kind, unsigned faults,
+                        unsigned trial) {
+  std::uint64_t x = base;
+  for (std::uint64_t salt : {static_cast<std::uint64_t>(algorithm) + 1,
+                             static_cast<std::uint64_t>(kind) + 1,
+                             static_cast<std::uint64_t>(faults) + 1,
+                             static_cast<std::uint64_t>(trial) + 1}) {
+    x = (x ^ (salt * 0x9e3779b97f4a7c15ULL)) * 0x2545f4914f6cdd1dULL;
+  }
+  return x;
+}
+
+// Connectivity answer of the surviving (non-crashed) vertices: a
+// crash-stopped machine outputs nothing, so it cannot vote.
+bool survivor_decision(const RunResult& result) {
+  std::size_t survivors = 0;
+  bool decision = true;
+  for (VertexId v = 0; v < result.vertex_decisions.size(); ++v) {
+    if (std::binary_search(result.crashed_vertices.begin(), result.crashed_vertices.end(), v)) {
+      continue;
+    }
+    ++survivors;
+    decision = decision && result.vertex_decisions[v];
+  }
+  return survivors > 0 && decision;
+}
+
+}  // namespace
+
+const char* fault_sweep_algorithm_name(FaultSweepAlgorithm algorithm) {
+  switch (algorithm) {
+    case FaultSweepAlgorithm::kMinIdFlood: return "flood";
+    case FaultSweepAlgorithm::kBoruvka: return "boruvka";
+    case FaultSweepAlgorithm::kSketch: return "sketch";
+  }
+  return "?";
+}
+
+unsigned FaultBudgetReport::budget(FaultSweepAlgorithm algorithm, FaultKind kind) const {
+  unsigned budget = 0;
+  for (unsigned f = 1; f <= config.max_faults; ++f) {
+    const auto it = std::find_if(points.begin(), points.end(), [&](const FaultLevelPoint& p) {
+      return p.algorithm == algorithm && p.kind == kind && p.faults == f;
+    });
+    if (it == points.end() || !it->all_correct()) break;
+    budget = f;
+  }
+  return budget;
+}
+
+FaultBudgetReport sweep_fault_budget(const FaultSweepConfig& config) {
+  BCCLB_REQUIRE(config.n >= 4, "need at least 4 vertices to fault meaningfully");
+  BCCLB_REQUIRE(bit_width_u64(config.n - 1) <= config.bandwidth,
+                "bandwidth too narrow for min-ID flooding at this n");
+  BCCLB_REQUIRE(config.trials >= 1, "need at least one trial per level");
+
+  FaultBudgetReport report;
+  report.config = config;
+
+  // The connected hard input of the paper's upper-bound discussion: a single
+  // n-cycle. Every fault level is judged against truth = "connected".
+  Rng rng(config.seed);
+  const BccInstance instance = BccInstance::kt1(random_one_cycle(config.n, rng).to_graph());
+  const PublicCoins coins(config.seed, 4096);
+
+  struct AlgorithmSpec {
+    FaultSweepAlgorithm which;
+    AlgorithmFactory factory;
+    unsigned max_rounds;
+    CoinSpec coin_spec;
+  };
+  std::vector<AlgorithmSpec> specs;
+  specs.push_back({FaultSweepAlgorithm::kMinIdFlood, min_id_flood_factory(),
+                   MinIdFloodAlgorithm::rounds_needed(config.n), CoinSpec::none()});
+  specs.push_back({FaultSweepAlgorithm::kBoruvka, boruvka_factory(),
+                   BoruvkaAlgorithm::max_rounds(config.n, config.bandwidth), CoinSpec::none()});
+  specs.push_back({FaultSweepAlgorithm::kSketch, sketch_connectivity_factory(),
+                   SketchConnectivityAlgorithm::max_rounds(config.n, config.bandwidth),
+                   CoinSpec::public_coins(&coins)});
+
+  const BatchRunner runner(config.threads);
+
+  // Calibrate the fault window per algorithm: rounds the fault-free run
+  // actually executes. Plans schedule events inside this window, so every
+  // scheduled fault has a chance to fire instead of landing past the end.
+  std::vector<unsigned> window(specs.size(), 1);
+  {
+    std::vector<BatchJob> calibration;
+    for (const AlgorithmSpec& spec : specs) {
+      calibration.push_back(
+          {instance, spec.factory, config.bandwidth, spec.max_rounds, spec.coin_spec});
+    }
+    const std::vector<RunResult> baseline = runner.run(calibration);
+    for (std::size_t a = 0; a < specs.size(); ++a) {
+      window[a] = std::max(1u, baseline[a].rounds_executed);
+      BCCLB_CHECK(baseline[a].decision, "fault-free baseline must answer 'connected'");
+    }
+  }
+
+  // One flat batch: (algorithm, kind, level, trial), all independent.
+  std::vector<BatchJob> jobs;
+  std::vector<FaultLevelPoint*> job_points;
+  for (std::size_t a = 0; a < specs.size(); ++a) {
+    for (const FaultKind kind : kSweptKinds) {
+      for (unsigned f = 0; f <= config.max_faults; ++f) {
+        report.points.push_back({specs[a].which, kind, f, config.trials, 0, 0, 0, 0});
+      }
+    }
+  }
+  std::size_t point_at = 0;
+  for (std::size_t a = 0; a < specs.size(); ++a) {
+    for (unsigned k = 0; k < std::size(kSweptKinds); ++k) {
+      for (unsigned f = 0; f <= config.max_faults; ++f) {
+        FaultLevelPoint* point = &report.points[point_at++];
+        for (unsigned trial = 0; trial < config.trials; ++trial) {
+          BatchJob job{instance, specs[a].factory, config.bandwidth, specs[a].max_rounds,
+                       specs[a].coin_spec};
+          job.faults = FaultPlan::random(
+              plan_seed(config.seed, static_cast<unsigned>(a), k, f, trial), config.n,
+              window[a], counts_for(kSweptKinds[k], f));
+          jobs.push_back(std::move(job));
+          job_points.push_back(point);
+        }
+      }
+    }
+  }
+
+  const BatchReport batch = runner.run_reported(jobs);
+  report.jobs_ok = batch.num_ok;
+  report.jobs_failed = batch.num_failed;
+  report.jobs_timed_out = batch.num_timed_out;
+
+  for (std::size_t i = 0; i < batch.jobs.size(); ++i) {
+    FaultLevelPoint& point = *job_points[i];
+    const JobOutcome& out = batch.jobs[i];
+    if (!out.ok()) {
+      ++point.errored;
+    } else if (!out.result.all_finished) {
+      ++point.unfinished;
+    } else if (survivor_decision(out.result)) {
+      ++point.correct;  // truth is "connected" on the one-cycle input
+    } else {
+      ++point.wrong;
+    }
+  }
+  return report;
+}
+
+ReplayReport verify_replay(const BccInstance& instance, unsigned bandwidth,
+                           const AlgorithmFactory& factory, unsigned max_rounds,
+                           const CoinSpec& coins, const FaultPlan* faults) {
+  RunOptions options;
+  options.coins = coins;
+  options.faults = faults;
+
+  // An algorithm written for the fault-free model may reject a faulted inbox
+  // (e.g. flooding reads every port's value); the thrown error is then the
+  // run's outcome and must itself replay identically.
+  std::string errors[2];
+  std::optional<RunResult> runs[2];
+  for (int i = 0; i < 2; ++i) {
+    RoundEngine engine;
+    try {
+      runs[i] = engine.run(instance, bandwidth, factory, max_rounds, options);
+    } catch (const std::exception& e) {
+      errors[i] = e.what();
+    }
+  }
+
+  ReplayReport report;
+  if (runs[0] && runs[1]) {
+    report.digest_first = runs[0]->transcript.digest();
+    report.digest_second = runs[1]->transcript.digest();
+    report.decisions_match = runs[0]->decision == runs[1]->decision &&
+                             runs[0]->vertex_decisions == runs[1]->vertex_decisions;
+    report.deterministic = report.digest_first == report.digest_second &&
+                           report.decisions_match &&
+                           runs[0]->rounds_executed == runs[1]->rounds_executed;
+    report.rounds = runs[0]->rounds_executed;
+    report.faults_applied = runs[0]->faults_applied.size();
+  } else {
+    report.errored = true;
+    report.error = runs[0] ? errors[1] : errors[0];
+    report.deterministic = !runs[0] && !runs[1] && errors[0] == errors[1];
+  }
+  return report;
+}
+
+}  // namespace bcclb

@@ -1,0 +1,98 @@
+// Fault budgets of the upper-bound algorithms, and replay verification.
+//
+// The paper's lower bounds hold against fault-free BCC(1); its tightness
+// discussion (Section 1.1) cites upper bounds that implicitly assume no
+// vertex ever crashes and no broadcast is ever corrupted. This engine
+// measures what those assumptions are worth: it sweeps deterministic
+// seeded FaultPlans (crash-stop / dropped broadcasts / bit flips) of
+// increasing size against min-ID flooding, Boruvka-over-broadcast and
+// sketch connectivity on a connected input, and reports the largest fault
+// count each algorithm survives with every trial still answering
+// Connectivity correctly — the *fault budget*. Crashed vertices are
+// excluded from the decision (a crash-stopped machine outputs nothing);
+// everything runs through BatchRunner::run_reported, so a fault that makes
+// one job throw costs that job, not the sweep.
+//
+// Replay verification is the companion determinism check: run the same
+// (instance, algorithm, coins, faults) twice on independent engines and
+// compare transcript digests. Injection is a pure function of (plan, round,
+// vertex), so any digest mismatch is real nondeterminism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bcc/batch_runner.h"
+#include "bcc/faults.h"
+#include "graph/graph.h"
+
+namespace bcclb {
+
+enum class FaultSweepAlgorithm : std::uint8_t { kMinIdFlood, kBoruvka, kSketch };
+
+const char* fault_sweep_algorithm_name(FaultSweepAlgorithm algorithm);
+
+struct FaultSweepConfig {
+  std::size_t n = 16;
+  unsigned bandwidth = 6;    // wide enough for flooding's IDs at n = 16
+  std::uint64_t seed = 2019;
+  unsigned max_faults = 4;   // sweep fault counts 0..max_faults per kind
+  unsigned trials = 3;       // independent random plans per (kind, count)
+  unsigned threads = 0;      // BatchRunner width; 0 = default
+};
+
+// Outcome tally of one (algorithm, fault kind, fault count) level.
+struct FaultLevelPoint {
+  FaultSweepAlgorithm algorithm{};
+  FaultKind kind{};
+  unsigned faults = 0;
+  unsigned trials = 0;
+  unsigned correct = 0;     // finished with the right Connectivity answer
+  unsigned wrong = 0;       // finished, answered incorrectly
+  unsigned unfinished = 0;  // hit the round cap (availability loss)
+  unsigned errored = 0;     // the run threw (per-job isolation caught it)
+
+  bool all_correct() const { return correct == trials; }
+};
+
+struct FaultBudgetReport {
+  FaultSweepConfig config;
+  std::vector<FaultLevelPoint> points;
+  std::size_t jobs_ok = 0;
+  std::size_t jobs_failed = 0;
+  std::size_t jobs_timed_out = 0;
+
+  // Largest f such that every trial at every level <= f answered correctly
+  // (0 faults always passes: the algorithms are correct when unfaulted).
+  unsigned budget(FaultSweepAlgorithm algorithm, FaultKind kind) const;
+};
+
+// Sweeps crash / drop / flip plans against the three upper-bound algorithms
+// on a connected one-cycle input. Deterministic in the config.
+FaultBudgetReport sweep_fault_budget(const FaultSweepConfig& config = {});
+
+// Replay verification: the run executed twice on fresh engines. A run that
+// throws is itself an outcome — both executions must then throw the same
+// error for the replay to count as deterministic.
+struct ReplayReport {
+  std::uint64_t digest_first = 0;
+  std::uint64_t digest_second = 0;
+  bool decisions_match = false;
+  bool errored = false;        // at least one execution threw
+  std::string error;           // first execution's error text, if any
+  bool deterministic = false;  // digests AND decisions agree, or both runs
+                               // failed with an identical error
+  unsigned rounds = 0;
+  std::size_t faults_applied = 0;
+};
+
+// Runs (instance, bandwidth, factory, max_rounds, coins, faults) twice and
+// compares transcript digests and decisions — or, if the runs throw (an
+// algorithm designed for the fault-free model may reject a faulted inbox),
+// compares the error text. `faults` may be null.
+ReplayReport verify_replay(const BccInstance& instance, unsigned bandwidth,
+                           const AlgorithmFactory& factory, unsigned max_rounds,
+                           const CoinSpec& coins = {}, const FaultPlan* faults = nullptr);
+
+}  // namespace bcclb

@@ -4,7 +4,10 @@
 // modes.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bcc/algorithms/boruvka.h"
@@ -138,6 +141,57 @@ TEST(BatchRunner, EmptyBatchIsANoOp) {
   const BatchRunner runner(4);
   EXPECT_TRUE(runner.run({}).empty());
   runner.for_each(0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+// Saves and restores BCCLB_THREADS around a test so the suite never leaks
+// environment state into later tests (or the developer's shell expectations).
+class ThreadsEnvGuard {
+ public:
+  ThreadsEnvGuard() {
+    const char* current = std::getenv("BCCLB_THREADS");
+    if (current != nullptr) saved_ = current;
+  }
+  ~ThreadsEnvGuard() {
+    if (saved_.has_value()) {
+      setenv("BCCLB_THREADS", saved_->c_str(), 1);
+    } else {
+      unsetenv("BCCLB_THREADS");
+    }
+  }
+
+  void set(const char* value) { setenv("BCCLB_THREADS", value, 1); }
+  void unset() { unsetenv("BCCLB_THREADS"); }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+TEST(BatchRunner, DefaultThreadsHonorsAValidOverride) {
+  ThreadsEnvGuard env;
+  env.set("12");
+  EXPECT_EQ(BatchRunner::default_threads(), 12u);
+  env.set("1");
+  EXPECT_EQ(BatchRunner::default_threads(), 1u);
+}
+
+TEST(BatchRunner, DefaultThreadsClampsHugeValues) {
+  ThreadsEnvGuard env;
+  env.set("300");
+  EXPECT_EQ(BatchRunner::default_threads(), 256u);
+}
+
+TEST(BatchRunner, DefaultThreadsIgnoresMalformedValues) {
+  ThreadsEnvGuard env;
+  env.unset();
+  const unsigned fallback = BatchRunner::default_threads();
+  EXPECT_GE(fallback, 1u);
+
+  // Non-numeric, trailing garbage, empty, zero, negative, and overflowing
+  // values must all fall back rather than crash or wrap around.
+  for (const char* bad : {"abc", "7x", "", " 8", "0", "-3", "99999999999999999999"}) {
+    env.set(bad);
+    EXPECT_EQ(BatchRunner::default_threads(), fallback) << "BCCLB_THREADS='" << bad << "'";
+  }
 }
 
 }  // namespace

@@ -3,9 +3,11 @@
 
 #include <cmath>
 #include <set>
+#include <string>
 
 #include "common/bigint.h"
 #include "common/check.h"
+#include "common/errors.h"
 #include "common/mathutil.h"
 #include "common/random.h"
 
@@ -189,6 +191,87 @@ TEST(MathUtil, CheckedPow) {
   EXPECT_EQ(checked_pow(3, 4), 81u);
   EXPECT_EQ(checked_pow(10, 0), 1u);
   EXPECT_THROW(checked_pow(2, 64), std::invalid_argument);
+}
+
+TEST(Check, RequireMessageNamesExpressionFileAndReason) {
+  try {
+    BCCLB_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("requirement failed: 1 == 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("one is not two"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, CheckThrowsLogicErrorWithoutTrailingDashWhenMessageEmpty) {
+  try {
+    BCCLB_CHECK(false, "");
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("internal check failed: false"), std::string::npos) << what;
+    EXPECT_EQ(what.find("—"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, ExpressionIsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  const auto touch = [&] {
+    ++evaluations;
+    return true;
+  };
+  BCCLB_REQUIRE(touch(), "must pass");
+  EXPECT_EQ(evaluations, 1);
+  BCCLB_CHECK(touch(), "must pass");
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(Errors, WhatCarriesInstanceVertexAndRound) {
+  const BandwidthViolationError e("too wide", {0xabcdef1234567890ULL, 3, 7});
+  const std::string what = e.what();
+  EXPECT_NE(what.find("too wide"), std::string::npos) << what;
+  EXPECT_NE(what.find("instance=abcdef1234567890"), std::string::npos) << what;
+  EXPECT_NE(what.find("vertex 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("round 7"), std::string::npos) << what;
+  EXPECT_EQ(e.context().vertex, 3);
+  EXPECT_EQ(e.context().round, 7);
+}
+
+TEST(Errors, DefaultContextAddsNoSuffix) {
+  const RoundLimitError e("ran out of rounds");
+  EXPECT_STREQ(e.what(), "ran out of rounds");
+  EXPECT_EQ(e.context().instance_digest, 0u);
+}
+
+TEST(Errors, KindAndTransienceIdentifyTheLeafType) {
+  EXPECT_STREQ(BandwidthViolationError("x").kind(), "BandwidthViolationError");
+  EXPECT_STREQ(RoundLimitError("x").kind(), "RoundLimitError");
+  EXPECT_STREQ(FaultInjectionError("x").kind(), "FaultInjectionError");
+  EXPECT_STREQ(JobTimeoutError("x").kind(), "JobTimeoutError");
+  EXPECT_STREQ(RangeViolationError("x").kind(), "RangeViolationError");
+
+  EXPECT_TRUE(FaultInjectionError("x").transient());
+  EXPECT_FALSE(BandwidthViolationError("x").transient());
+  EXPECT_FALSE(JobTimeoutError("x").transient());
+}
+
+TEST(Errors, CatchableUnderTheLegacyInvalidArgumentContract) {
+  // The library's historical contract throws std::invalid_argument for model
+  // violations; the typed hierarchy must remain catchable through it.
+  try {
+    throw BandwidthViolationError("over budget", {0, 1, 2});
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("over budget"), std::string::npos);
+  }
+  // And through the shared base, with the structured context intact.
+  try {
+    throw JobTimeoutError("late", {0, -1, 9});
+  } catch (const BcclbError& e) {
+    EXPECT_STREQ(e.kind(), "JobTimeoutError");
+    EXPECT_EQ(e.context().round, 9);
+  }
 }
 
 }  // namespace

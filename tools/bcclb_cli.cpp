@@ -10,9 +10,19 @@
 //   reduce <n> [seed]          Figure 2 pipeline on random partitions
 //   upper <n> <b> [seed]       tightness sweep (flood / Boruvka / sketches)
 //   bfs <n> <p> [seed]         CONGEST BFS distances and eccentricity
+//   faults <n> <b> [seed]      fault-budget sweep + replay verification
+//
+// Argument parsing is strict: every numeric argument must be a whole,
+// in-range number or the command refuses with usage (exit 2). Errors out
+// of the library surface as typed BcclbError with kind + context; anything
+// else is a plain std::exception. No helper calls std::exit — all exits
+// flow through main.
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "bcc_lb.h"
@@ -22,7 +32,42 @@ using namespace bcclb;
 
 namespace {
 
-AdversaryKind parse_adversary(const char* name) {
+// Strict whole-string parse helpers. Reject empty strings, trailing junk
+// ("7x"), out-of-range values, and (for the unsigned parsers) negatives —
+// strtoul would silently wrap "-3" to a huge value.
+std::optional<std::uint64_t> parse_u64(const char* s) {
+  if (s == nullptr || *s == '\0' || *s == '-') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return std::nullopt;
+  return static_cast<std::uint64_t>(value);
+}
+
+std::optional<std::size_t> parse_size(const char* s) {
+  const auto v = parse_u64(s);
+  if (!v || static_cast<std::uint64_t>(static_cast<std::size_t>(*v)) != *v) return std::nullopt;
+  return static_cast<std::size_t>(*v);
+}
+
+std::optional<unsigned> parse_unsigned(const char* s) {
+  const auto v = parse_u64(s);
+  if (!v || static_cast<std::uint64_t>(static_cast<unsigned>(*v)) != *v) return std::nullopt;
+  return static_cast<unsigned>(*v);
+}
+
+std::optional<double> parse_double(const char* s) {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) return std::nullopt;
+  return value;
+}
+
+// Returns nullopt (rather than exiting) on an unknown name; the caller
+// prints the options and falls through to usage.
+std::optional<AdversaryKind> parse_adversary(const char* name) {
   for (const AdversaryKind kind : all_adversary_kinds()) {
     if (std::strcmp(name, adversary_kind_name(kind)) == 0) return kind;
   }
@@ -31,7 +76,7 @@ AdversaryKind parse_adversary(const char* name) {
     std::fprintf(stderr, " %s", adversary_kind_name(kind));
   }
   std::fprintf(stderr, "\n");
-  std::exit(2);
+  return std::nullopt;
 }
 
 int cmd_counts(std::size_t n) {
@@ -157,6 +202,46 @@ int cmd_bfs(std::size_t n, double p, std::uint64_t seed) {
   return 0;
 }
 
+int cmd_faults(std::size_t n, unsigned b, std::uint64_t seed) {
+  FaultSweepConfig config;
+  config.n = n;
+  config.bandwidth = b;
+  config.seed = seed;
+  const FaultBudgetReport report = sweep_fault_budget(config);
+  std::printf("fault budgets on a one-cycle, n=%zu b=%u seed=%llu (sweep 0..%u, %u trials):\n",
+              n, b, static_cast<unsigned long long>(seed), config.max_faults, config.trials);
+  for (const FaultSweepAlgorithm algorithm :
+       {FaultSweepAlgorithm::kMinIdFlood, FaultSweepAlgorithm::kBoruvka,
+        FaultSweepAlgorithm::kSketch}) {
+    std::printf("  %-8s crash=%u drop=%u flip=%u\n", fault_sweep_algorithm_name(algorithm),
+                report.budget(algorithm, FaultKind::kCrashStop),
+                report.budget(algorithm, FaultKind::kDropBroadcast),
+                report.budget(algorithm, FaultKind::kFlipBits));
+  }
+  std::printf("jobs: %zu ok, %zu failed, %zu timed out\n", report.jobs_ok, report.jobs_failed,
+              report.jobs_timed_out);
+
+  Rng rng(seed);
+  const BccInstance instance = BccInstance::kt1(random_one_cycle(n, rng).to_graph());
+  FaultCounts counts;
+  counts.crashes = 1;
+  counts.drops = 1;
+  const FaultPlan plan = FaultPlan::random(seed + 77, n, 8, counts);
+  const ReplayReport rep =
+      verify_replay(instance, b, boruvka_factory(), BoruvkaAlgorithm::max_rounds(n, b),
+                    CoinSpec::none(), &plan);
+  if (rep.errored) {
+    std::printf("replay: both runs threw -> %s\n",
+                rep.deterministic ? "deterministic" : "NONDETERMINISTIC");
+  } else {
+    std::printf("replay: digests %016llx/%016llx -> %s\n",
+                static_cast<unsigned long long>(rep.digest_first),
+                static_cast<unsigned long long>(rep.digest_second),
+                rep.deterministic ? "deterministic" : "NONDETERMINISTIC");
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: bcclb <command> [args]\n"
@@ -169,53 +254,81 @@ int usage() {
                "  reduce <n> [seed=1]\n"
                "  upper  <n> <b> [seed=1]\n"
                "  bfs    <n> <p> [seed=1]\n"
-               "adversaries: silent id-bits hashed-id coin-xor-id port-parity echo\n");
+               "  faults <n> <b> [seed=2019]\n"
+               "adversaries: silent id-bits hashed-id coin-xor-id port-parity echo state-hash\n"
+               "numeric arguments must be whole in-range numbers\n");
   return 2;
+}
+
+int dispatch(int argc, char** argv) {
+  const std::string cmd = argv[1];
+  if (cmd == "counts" && argc >= 3) {
+    const auto n = parse_size(argv[2]);
+    if (!n) return usage();
+    return cmd_counts(*n);
+  }
+  if ((cmd == "star" || cmd == "kt0" || cmd == "rules") && argc >= 5) {
+    const auto n = parse_size(argv[2]);
+    const auto t = parse_unsigned(argv[3]);
+    if (!n || !t) return usage();
+    const auto kind = parse_adversary(argv[4]);
+    if (!kind) return usage();
+    if (cmd == "star") return cmd_star(*n, *t, *kind);
+    if (cmd == "kt0") return cmd_kt0(*n, *t, *kind);
+    return cmd_rules(*n, *t, *kind);
+  }
+  if (cmd == "rank" && argc >= 3) {
+    const auto n = parse_size(argv[2]);
+    if (!n) return usage();
+    return cmd_rank(*n);
+  }
+  if (cmd == "info" && argc >= 3) {
+    const auto n = parse_size(argv[2]);
+    const auto keep = argc >= 4 ? parse_double(argv[3]) : std::optional<double>(1.0);
+    if (!n || !keep) return usage();
+    return cmd_info(*n, *keep);
+  }
+  if (cmd == "reduce" && argc >= 3) {
+    const auto n = parse_size(argv[2]);
+    const auto seed = argc >= 4 ? parse_u64(argv[3]) : std::optional<std::uint64_t>(1);
+    if (!n || !seed) return usage();
+    return cmd_reduce(*n, *seed);
+  }
+  if (cmd == "upper" && argc >= 4) {
+    const auto n = parse_size(argv[2]);
+    const auto b = parse_unsigned(argv[3]);
+    const auto seed = argc >= 5 ? parse_u64(argv[4]) : std::optional<std::uint64_t>(1);
+    if (!n || !b || !seed) return usage();
+    return cmd_upper(*n, *b, *seed);
+  }
+  if (cmd == "bfs" && argc >= 4) {
+    const auto n = parse_size(argv[2]);
+    const auto p = parse_double(argv[3]);
+    const auto seed = argc >= 5 ? parse_u64(argv[4]) : std::optional<std::uint64_t>(1);
+    if (!n || !p || !seed) return usage();
+    return cmd_bfs(*n, *p, *seed);
+  }
+  if (cmd == "faults" && argc >= 4) {
+    const auto n = parse_size(argv[2]);
+    const auto b = parse_unsigned(argv[3]);
+    const auto seed = argc >= 5 ? parse_u64(argv[4]) : std::optional<std::uint64_t>(2019);
+    if (!n || !b || !seed) return usage();
+    return cmd_faults(*n, *b, *seed);
+  }
+  return usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  const std::string cmd = argv[1];
   try {
-    if (cmd == "counts" && argc >= 3) return cmd_counts(std::strtoul(argv[2], nullptr, 10));
-    if (cmd == "star" && argc >= 5) {
-      return cmd_star(std::strtoul(argv[2], nullptr, 10),
-                      static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)),
-                      parse_adversary(argv[4]));
-    }
-    if (cmd == "kt0" && argc >= 5) {
-      return cmd_kt0(std::strtoul(argv[2], nullptr, 10),
-                     static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)),
-                     parse_adversary(argv[4]));
-    }
-    if (cmd == "rules" && argc >= 5) {
-      return cmd_rules(std::strtoul(argv[2], nullptr, 10),
-                       static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)),
-                       parse_adversary(argv[4]));
-    }
-    if (cmd == "rank" && argc >= 3) return cmd_rank(std::strtoul(argv[2], nullptr, 10));
-    if (cmd == "info" && argc >= 3) {
-      return cmd_info(std::strtoul(argv[2], nullptr, 10),
-                      argc >= 4 ? std::strtod(argv[3], nullptr) : 1.0);
-    }
-    if (cmd == "reduce" && argc >= 3) {
-      return cmd_reduce(std::strtoul(argv[2], nullptr, 10),
-                        argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 1);
-    }
-    if (cmd == "upper" && argc >= 4) {
-      return cmd_upper(std::strtoul(argv[2], nullptr, 10),
-                       static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)),
-                       argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 1);
-    }
-    if (cmd == "bfs" && argc >= 4) {
-      return cmd_bfs(std::strtoul(argv[2], nullptr, 10), std::strtod(argv[3], nullptr),
-                     argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 1);
-    }
+    return dispatch(argc, argv);
+  } catch (const BcclbError& e) {
+    std::fprintf(stderr, "error (%s): %s\n", e.kind(), e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
 }
