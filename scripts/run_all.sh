@@ -1,17 +1,69 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every experiment into results/.
+#
+# Hardened driver: a failing bench no longer aborts the whole sweep — every
+# bench runs, each gets a PASS/FAIL line in the final summary, and the script
+# exits non-zero iff anything failed. The seeded standard campaign runs first
+# (through `bcclb campaign`, so it is checkpointed and resumable) and its
+# digests are verified against the committed golden store results/golden.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+# Reuse the existing build tree's generator if one is configured; forcing a
+# generator onto a tree configured with a different one is a hard cmake error.
+if [ ! -f build/CMakeCache.txt ]; then
+  cmake -B build
+fi
+cmake --build build -j
 ctest --test-dir build --output-on-failure
 
 mkdir -p results
+
+declare -a names statuses
+fail_count=0
+
+run_step() {
+  # run_step <name> <cmd...>: record PASS/FAIL, never abort the sweep.
+  local name="$1"
+  shift
+  echo "== $name"
+  if "$@"; then
+    names+=("$name"); statuses+=(PASS)
+  else
+    names+=("$name"); statuses+=(FAIL)
+    fail_count=$((fail_count + 1))
+  fi
+}
+
+# The standard campaign: checkpointed into results/campaign/, resumable after
+# a crash with `./build/tools/bcclb campaign --resume results/campaign`.
+rm -rf results/campaign
+run_step "campaign" ./build/tools/bcclb campaign results/campaign
+if [ -f results/campaign/golden.json ]; then
+  cp results/campaign/golden.json results/golden.json.new
+  if [ -f results/golden.json ]; then
+    run_step "campaign-verify" ./build/tools/bcclb campaign --verify results/golden.json
+  else
+    mv results/golden.json.new results/golden.json
+    echo "== campaign-verify: no golden store yet; seeded results/golden.json"
+  fi
+fi
+
 for b in build/bench/bench_e*; do
   name=$(basename "$b")
-  echo "== $name"
-  "$b" | tee "results/$name.txt"
+  run_step "$name" bash -c "'$b' | tee 'results/$name.txt'"
 done
-./build/bench/bench_micro --benchmark_min_time=0.05 | tee results/bench_micro.txt
+run_step "bench_micro" bash -c \
+  "./build/bench/bench_micro --benchmark_min_time=0.05 | tee results/bench_micro.txt"
+
+echo
+echo "== summary"
+for i in "${!names[@]}"; do
+  printf '  %-28s %s\n' "${names[$i]}" "${statuses[$i]}"
+done
+
+if [ "$fail_count" -ne 0 ]; then
+  echo "$fail_count step(s) failed."
+  exit 1
+fi
 echo "All experiment outputs written to results/."

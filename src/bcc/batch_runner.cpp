@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <thread>
@@ -99,6 +100,32 @@ void BatchRunner::for_each(std::size_t count,
   for_each_with_engine(count, [&body](std::size_t i, RoundEngine&) { body(i); });
 }
 
+std::uint64_t retry_backoff_ns(const BatchPolicy& policy, std::size_t job, unsigned retry) {
+  if (policy.backoff_base_ns == 0 || retry == 0) return 0;
+  // Saturating base << (retry - 1), then cap.
+  const unsigned shift = retry - 1;
+  std::uint64_t delay = policy.backoff_base_ns;
+  if (shift >= 63 || delay > (UINT64_MAX >> shift)) {
+    delay = UINT64_MAX;
+  } else {
+    delay <<= shift;
+  }
+  if (delay > policy.backoff_cap_ns) delay = policy.backoff_cap_ns;
+  // Deterministic jitter: SplitMix64-style mix of (seed, job, retry) picks a
+  // point in [delay/2, delay], decorrelating simultaneous retries without
+  // consulting the clock.
+  std::uint64_t x = policy.backoff_seed ^ 0x9e3779b97f4a7c15ULL;
+  for (const std::uint64_t salt : {static_cast<std::uint64_t>(job) + 1,
+                                   static_cast<std::uint64_t>(retry)}) {
+    x += salt * 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+  }
+  const std::uint64_t half = delay / 2;
+  return half + (half == 0 ? 0 : x % (half + 1));
+}
+
 namespace {
 
 RunOptions options_for(const BatchJob& job, const BatchPolicy& policy, unsigned attempt) {
@@ -161,6 +188,14 @@ BatchReport BatchRunner::run_reported(const std::vector<BatchJob>& jobs,
         out.error_kind = "std::exception";
       }
       if (!transient || attempt >= policy.max_retries) return;
+      // Bounded exponential backoff before the retry; the schedule is a pure
+      // function of (policy, job index, retry number), so replays of this
+      // batch sleep identically and tests can predict the exact delays.
+      const std::uint64_t delay = retry_backoff_ns(policy, i, attempt + 1);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+        out.backoff_ns_total += delay;
+      }
     }
   });
   for (const JobOutcome& out : report.jobs) {

@@ -56,6 +56,7 @@ struct JobOutcome {
   std::string error;       // what() of the final failed attempt
   std::string error_kind;  // BcclbError::kind(), or the typeid-style fallback
   unsigned attempts = 0;   // executions, including retries
+  std::uint64_t backoff_ns_total = 0;  // time slept between retries
 
   bool ok() const { return status == JobStatus::kOk; }
 };
@@ -80,7 +81,20 @@ struct BatchPolicy {
   // transient(), i.e. an injected fault); transient FaultPlans are disabled
   // from attempt 1 on, so the retry re-executes fault-free.
   unsigned max_retries = 0;
+  // Exponential backoff before retry k (1-based): base << (k-1), capped at
+  // backoff_cap_ns, then jittered into [cap/2, cap] of that value by a hash
+  // of (backoff_seed, job index, k). The jitter is seeded, never wall-clock,
+  // so a replayed batch sleeps the exact same schedule. base == 0 keeps the
+  // pre-backoff behaviour: retry immediately.
+  std::uint64_t backoff_base_ns = 0;
+  std::uint64_t backoff_cap_ns = 100'000'000;  // 100 ms
+  std::uint64_t backoff_seed = 0;
 };
+
+// The delay run_reported sleeps before retry `retry` (1-based) of job `job`.
+// Pure and deterministic in its arguments; exposed for tests and for callers
+// that want to pre-compute a schedule.
+std::uint64_t retry_backoff_ns(const BatchPolicy& policy, std::size_t job, unsigned retry);
 
 class BatchRunner {
  public:

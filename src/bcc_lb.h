@@ -18,6 +18,7 @@
 #include "bcc/algorithms/disjointness.h"         // IWYU pragma: export
 #include "bcc/algorithms/kt0_bootstrap.h"        // IWYU pragma: export
 #include "bcc/batch_runner.h"                    // IWYU pragma: export
+#include "bcc/checkpoint.h"                      // IWYU pragma: export
 #include "bcc/faults.h"                          // IWYU pragma: export
 #include "bcc/instance.h"                        // IWYU pragma: export
 #include "bcc/range_model.h"                     // IWYU pragma: export
@@ -33,6 +34,7 @@
 #include "congest/model.h"                       // IWYU pragma: export
 #include "congest/triangle.h"                    // IWYU pragma: export
 #include "common/errors.h"                       // IWYU pragma: export
+#include "core/campaign.h"                       // IWYU pragma: export
 #include "core/decision_optimizer.h"             // IWYU pragma: export
 #include "core/fault_tolerance.h"                // IWYU pragma: export
 #include "core/info_engine.h"                    // IWYU pragma: export

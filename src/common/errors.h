@@ -16,6 +16,9 @@
 //                             (transient: a retry without the fault succeeds)
 //   JobTimeoutError         — a watchdog deadline expired mid-run
 //   RangeViolationError     — an RCC(r, b) round used more than r values
+//   CheckpointError         — a campaign snapshot is missing, truncated,
+//                             corrupt, or inconsistent with its campaign
+//   ResourceBudgetError     — a job's footprint exceeds the memory budget
 #pragma once
 
 #include <cstdint>
@@ -107,6 +110,25 @@ class RangeViolationError : public BcclbError {
  public:
   using BcclbError::BcclbError;
   const char* kind() const noexcept override { return "RangeViolationError"; }
+};
+
+// A campaign checkpoint (or golden store) failed integrity or consistency
+// checks: truncated file, checksum mismatch, malformed record, or a snapshot
+// that does not describe the campaign being resumed. Never transient — a
+// corrupt checkpoint must be surfaced, not silently re-run over.
+class CheckpointError : public BcclbError {
+ public:
+  using BcclbError::BcclbError;
+  const char* kind() const noexcept override { return "CheckpointError"; }
+};
+
+// A job was refused because its estimated footprint does not fit the
+// campaign memory budget even at one worker. The message names both the
+// budget and the offending footprint.
+class ResourceBudgetError : public BcclbError {
+ public:
+  using BcclbError::BcclbError;
+  const char* kind() const noexcept override { return "ResourceBudgetError"; }
 };
 
 }  // namespace bcclb

@@ -159,7 +159,9 @@ FaultBudgetReport sweep_fault_budget(const FaultSweepConfig& config) {
     }
   }
 
-  const BatchReport batch = runner.run_reported(jobs);
+  BatchPolicy policy;
+  policy.job_timeout_ns = config.job_deadline_ns;
+  const BatchReport batch = runner.run_reported(jobs, policy);
   report.jobs_ok = batch.num_ok;
   report.jobs_failed = batch.num_failed;
   report.jobs_timed_out = batch.num_timed_out;

@@ -40,6 +40,9 @@ struct FaultSweepConfig {
   unsigned max_faults = 4;   // sweep fault counts 0..max_faults per kind
   unsigned trials = 3;       // independent random plans per (kind, count)
   unsigned threads = 0;      // BatchRunner width; 0 = default
+  // Per-job watchdog forwarded to BatchRunner's policy (the PR 2 deadline);
+  // 0 disables. Campaign runs use this to bound every sweep job.
+  std::uint64_t job_deadline_ns = 0;
 };
 
 // Outcome tally of one (algorithm, fault kind, fault count) level.

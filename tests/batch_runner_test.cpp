@@ -4,6 +4,8 @@
 // modes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <optional>
 #include <stdexcept>
@@ -192,6 +194,101 @@ TEST(BatchRunner, DefaultThreadsIgnoresMalformedValues) {
     env.set(bad);
     EXPECT_EQ(BatchRunner::default_threads(), fallback) << "BCCLB_THREADS='" << bad << "'";
   }
+}
+
+TEST(RetryBackoff, IsDeterministicBoundedAndDoubling) {
+  BatchPolicy policy;
+  policy.backoff_base_ns = 1'000'000;  // 1 ms
+  policy.backoff_cap_ns = 16'000'000;
+  policy.backoff_seed = 77;
+
+  std::uint64_t previous_nominal = 0;
+  for (unsigned retry = 1; retry <= 8; ++retry) {
+    const std::uint64_t delay = retry_backoff_ns(policy, /*job=*/3, retry);
+    // Same (policy, job, retry) -> same delay, always.
+    EXPECT_EQ(delay, retry_backoff_ns(policy, 3, retry)) << retry;
+    // Jittered into [nominal/2, nominal] where nominal doubles up to the cap.
+    const std::uint64_t nominal =
+        std::min(policy.backoff_cap_ns, policy.backoff_base_ns << (retry - 1));
+    EXPECT_GE(delay, nominal / 2) << retry;
+    EXPECT_LE(delay, nominal) << retry;
+    EXPECT_GE(nominal, previous_nominal);
+    previous_nominal = nominal;
+  }
+}
+
+TEST(RetryBackoff, ZeroBaseMeansImmediateRetry) {
+  BatchPolicy policy;  // backoff_base_ns defaults to 0
+  policy.max_retries = 3;
+  EXPECT_EQ(retry_backoff_ns(policy, 0, 1), 0u);
+  EXPECT_EQ(retry_backoff_ns(policy, 5, 4), 0u);
+  // retry 0 is the initial attempt: never a sleep, whatever the base.
+  policy.backoff_base_ns = 1'000'000;
+  EXPECT_EQ(retry_backoff_ns(policy, 0, 0), 0u);
+}
+
+TEST(RetryBackoff, JitterDecorrelatesJobsAndSeeds) {
+  BatchPolicy policy;
+  policy.backoff_base_ns = 1'000'000;
+  policy.backoff_seed = 1;
+  // With a 500k-wide jitter window, distinct jobs (and seeds) landing on the
+  // exact same delay for all of retries 1..4 would defeat the point of
+  // jitter: thundering-herd retries.
+  bool jobs_differ = false;
+  bool seeds_differ = false;
+  BatchPolicy other = policy;
+  other.backoff_seed = 2;
+  for (unsigned retry = 1; retry <= 4; ++retry) {
+    jobs_differ |= retry_backoff_ns(policy, 0, retry) != retry_backoff_ns(policy, 1, retry);
+    seeds_differ |= retry_backoff_ns(policy, 0, retry) != retry_backoff_ns(other, 0, retry);
+  }
+  EXPECT_TRUE(jobs_differ);
+  EXPECT_TRUE(seeds_differ);
+}
+
+TEST(RetryBackoff, SaturatesInsteadOfOverflowing) {
+  BatchPolicy policy;
+  policy.backoff_base_ns = UINT64_MAX / 2;
+  policy.backoff_cap_ns = UINT64_MAX;
+  // A shift that would overflow must clamp to the cap, not wrap to a tiny
+  // (or zero) delay.
+  const std::uint64_t delay = retry_backoff_ns(policy, 0, 40);
+  EXPECT_GE(delay, policy.backoff_cap_ns / 2);
+}
+
+TEST(BatchReport, RetryExhaustionSurfacesLastErrorWithJobIndexIntact) {
+  Rng rng(71);
+  std::vector<BatchJob> jobs;
+  for (std::size_t n : {6, 7, 8, 9}) {
+    const BccInstance instance = BccInstance::kt1(random_gnp(n, 0.6, rng));
+    jobs.push_back({instance, boruvka_factory(), 2, BoruvkaAlgorithm::max_rounds(n, 2),
+                    CoinSpec::none()});
+  }
+  // Job 2 carries a persistent fault: the plan re-fires on every attempt, so
+  // the retry budget (and its backoff schedule) is fully consumed.
+  jobs[2].faults.byzantine(0, 0, 0, /*bits=*/10);
+
+  BatchPolicy policy;
+  policy.max_retries = 2;
+  policy.backoff_base_ns = 50'000;  // 50 us: real sleeps, negligible runtime
+  policy.backoff_seed = 9;
+  const BatchReport report = BatchRunner(2).run_reported(jobs, policy);
+
+  EXPECT_EQ(report.first_failure(), 2u);
+  EXPECT_FALSE(report.jobs[2].ok());
+  EXPECT_EQ(report.jobs[2].attempts, 3u);  // initial + 2 retries
+  EXPECT_FALSE(report.jobs[2].error.empty());
+  EXPECT_FALSE(report.jobs[2].error_kind.empty());
+  for (unsigned i : {0u, 1u, 3u}) {
+    EXPECT_TRUE(report.jobs[i].ok()) << "job " << i;
+    EXPECT_EQ(report.jobs[i].backoff_ns_total, 0u) << "job " << i;
+  }
+  // The recorded sleep is exactly the deterministic schedule, so a replayed
+  // batch (same policy, same jobs) waits the same total.
+  const std::uint64_t expected =
+      retry_backoff_ns(policy, 2, 1) + retry_backoff_ns(policy, 2, 2);
+  EXPECT_EQ(report.jobs[2].backoff_ns_total, expected);
+  EXPECT_GT(expected, 0u);
 }
 
 }  // namespace

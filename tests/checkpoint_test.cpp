@@ -1,0 +1,145 @@
+// Checksummed atomic snapshots (bcc/checkpoint.h): integrity must be
+// all-or-nothing. A snapshot either reads back byte-identical or the read
+// throws a typed CheckpointError — truncation, bit rot, and hand edits are
+// never silently accepted, because the campaign layer resumes from whatever
+// this layer hands it.
+#include "bcc/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace bcclb {
+namespace {
+
+std::string test_dir() {
+  const ::testing::TestInfo* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string dir = ::testing::TempDir() + "bcclb_ckpt_" + info->test_suite_name() + "_" +
+                    info->name();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string raw_read(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void raw_write(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Fnv1a, MatchesReferenceValues) {
+  // FNV-1a offset basis for the empty string, and a classic test vector.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(fnv1a("bcclb"), fnv1a("bcclB"));
+}
+
+TEST(DigestHex, RoundTripsAndRejectsGarbage) {
+  for (const std::uint64_t value :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0xdeadbeef}, UINT64_MAX}) {
+    const std::string hex = digest_hex(value);
+    EXPECT_EQ(hex.size(), 16u);
+    std::uint64_t parsed = 0;
+    ASSERT_TRUE(parse_digest_hex(hex, parsed)) << hex;
+    EXPECT_EQ(parsed, value);
+  }
+  std::uint64_t parsed = 0;
+  EXPECT_FALSE(parse_digest_hex("", parsed));
+  EXPECT_FALSE(parse_digest_hex("0123456789abcde", parsed));    // 15 chars
+  EXPECT_FALSE(parse_digest_hex("0123456789abcdef0", parsed));  // 17 chars
+  EXPECT_FALSE(parse_digest_hex("0123456789abcdeg", parsed));   // non-hex
+  EXPECT_FALSE(parse_digest_hex("0123456789ABCDEF", parsed));   // upper case
+}
+
+TEST(Snapshot, RoundTripsBodyAndLeavesNoTempFile) {
+  const std::string dir = test_dir();
+  const std::string path = dir + "/snap";
+  const std::string body = "line one\nline two\n";
+  write_snapshot_atomic(path, body);
+  EXPECT_EQ(read_snapshot(path), body);
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+
+  // The on-disk form is the body plus exactly one checksum trailer line.
+  const std::string raw = raw_read(path);
+  EXPECT_EQ(raw.substr(0, body.size()), body);
+  EXPECT_EQ(raw.substr(body.size(), 9), "checksum ");
+}
+
+TEST(Snapshot, AppendsMissingFinalNewline) {
+  const std::string dir = test_dir();
+  const std::string path = dir + "/snap";
+  write_snapshot_atomic(path, "no trailing newline");
+  EXPECT_EQ(read_snapshot(path), "no trailing newline\n");
+}
+
+TEST(Snapshot, OverwriteIsAtomicReplacement) {
+  const std::string dir = test_dir();
+  const std::string path = dir + "/snap";
+  write_snapshot_atomic(path, "version one\n");
+  write_snapshot_atomic(path, "version two\n");
+  EXPECT_EQ(read_snapshot(path), "version two\n");
+}
+
+TEST(Snapshot, MissingFileThrowsCheckpointError) {
+  const std::string dir = test_dir();
+  EXPECT_THROW(read_snapshot(dir + "/nope"), CheckpointError);
+}
+
+TEST(Snapshot, TruncationIsDetected) {
+  const std::string dir = test_dir();
+  const std::string path = dir + "/snap";
+  write_snapshot_atomic(path, "a body that will be cut short\nwith two lines\n");
+  const std::string raw = raw_read(path);
+  // Chop at every interesting boundary: mid-body, mid-trailer, empty.
+  for (const std::size_t keep : {raw.size() - 1, raw.size() - 10, raw.size() / 2,
+                                 std::size_t{3}, std::size_t{0}}) {
+    raw_write(path, raw.substr(0, keep));
+    EXPECT_THROW(read_snapshot(path), CheckpointError) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(Snapshot, GarbageContentIsDetected) {
+  const std::string dir = test_dir();
+  const std::string path = dir + "/snap";
+  raw_write(path, "total nonsense, no trailer\n");
+  EXPECT_THROW(read_snapshot(path), CheckpointError);
+  raw_write(path, "checksum zzzzzzzzzzzzzzzz\n");  // malformed digest
+  EXPECT_THROW(read_snapshot(path), CheckpointError);
+}
+
+TEST(Snapshot, BitFlipFailsChecksumWithClearMessage) {
+  const std::string dir = test_dir();
+  const std::string path = dir + "/snap";
+  write_snapshot_atomic(path, "precious campaign state\n");
+  std::string raw = raw_read(path);
+  raw[4] ^= 0x20;  // flip one bit inside the body
+  raw_write(path, raw);
+  try {
+    read_snapshot(path);
+    FAIL() << "corrupt snapshot was accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"), std::string::npos) << e.what();
+    EXPECT_STREQ(e.kind(), "CheckpointError");
+  }
+}
+
+TEST(PlainFile, RoundTripsByteExact) {
+  const std::string dir = test_dir();
+  const std::string path = dir + "/artifact.txt";
+  const std::string bytes = "exact bytes, no trailer\x01\x02\n";
+  write_file_atomic(path, bytes);
+  EXPECT_EQ(read_file(path), bytes);
+  EXPECT_EQ(raw_read(path), bytes);
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  EXPECT_THROW(read_file(dir + "/absent"), CheckpointError);
+}
+
+}  // namespace
+}  // namespace bcclb

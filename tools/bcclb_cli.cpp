@@ -11,13 +11,21 @@
 //   upper <n> <b> [seed]       tightness sweep (flood / Boruvka / sketches)
 //   bfs <n> <p> [seed]         CONGEST BFS distances and eccentricity
 //   faults <n> <b> [seed]      fault-budget sweep + replay verification
+//   campaign <dir> [seed]      checkpointed standard campaign into <dir>
+//   campaign --resume <dir>    re-run only the unfinished jobs
+//   campaign --verify [golden] re-run in memory, diff digests vs golden.json
 //
 // Argument parsing is strict: every numeric argument must be a whole,
 // in-range number or the command refuses with usage (exit 2). Errors out
 // of the library surface as typed BcclbError with kind + context; anything
 // else is a plain std::exception. No helper calls std::exit — all exits
 // flow through main.
+//
+// SIGINT/SIGTERM during a campaign set a sig_atomic_t flag the runner polls
+// between job batches: the run flushes a final checkpoint, prints the resume
+// command, and exits 130 instead of dying dirty.
 #include <cerrno>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -242,6 +250,114 @@ int cmd_faults(std::size_t n, unsigned b, std::uint64_t seed) {
   return 0;
 }
 
+// Set by the SIGINT/SIGTERM handler, polled by CampaignRunner between job
+// batches. sig_atomic_t is the only type async-signal-safe to write from a
+// handler; everything else (checkpoint flush, messaging) happens on the main
+// thread once the runner notices the flag.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void on_campaign_signal(int) { g_interrupted = 1; }
+
+int cmd_campaign_run(const char* dir, std::uint64_t seed, bool resume) {
+  std::signal(SIGINT, on_campaign_signal);
+  std::signal(SIGTERM, on_campaign_signal);
+
+  CampaignConfig config;
+  config.dir = dir;
+  config.resume = resume;
+  config.interrupt = &g_interrupted;
+  // Ops/test hooks, strict-parsed like every other env override (malformed
+  // values are ignored, never trusted): a clean stop after N batches, and a
+  // between-batch throttle the kill-and-resume smoke test uses to widen the
+  // window a real SIGKILL can land in.
+  if (const char* env = std::getenv("BCCLB_CAMPAIGN_STOP_AFTER")) {
+    if (const auto v = parse_unsigned(env)) config.stop_after_batches = *v;
+  }
+  if (const char* env = std::getenv("BCCLB_CAMPAIGN_BATCH_DELAY_MS")) {
+    if (const auto v = parse_u64(env)) config.inter_batch_delay_ns = *v * 1'000'000ULL;
+  }
+  const Campaign campaign = standard_campaign(seed);
+  const CampaignReport report = CampaignRunner(config).run(campaign);
+
+  std::printf("campaign '%s' seed %llu: %u worker(s)", campaign.name.c_str(),
+              static_cast<unsigned long long>(seed), report.planned_workers);
+  if (report.mem_budget_bytes != 0) {
+    std::printf(", memory budget %llu bytes",
+                static_cast<unsigned long long>(report.mem_budget_bytes));
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < report.records.size(); ++i) {
+    const CampaignJobRecord& rec = report.records[i];
+    std::printf("  %-10s %-24s", campaign_job_state_name(rec.state),
+                campaign.jobs[i].name.c_str());
+    if (rec.ok()) {
+      std::printf(" digest %s%s (%.1f ms)\n", digest_hex(rec.digest).c_str(),
+                  rec.resumed ? " [resumed]" : "", rec.wall_time_ns / 1e6);
+    } else if (rec.state == CampaignJobState::kPending) {
+      std::printf("\n");
+    } else {
+      std::printf(" (%s) %s\n", rec.error_kind.c_str(), rec.error.c_str());
+    }
+  }
+
+  if (report.interrupted) {
+    std::fprintf(stderr,
+                 "interrupted: checkpoint flushed, %zu job(s) still pending\n"
+                 "resume with: bcclb campaign --resume %s\n",
+                 report.num_pending, dir);
+    return 130;
+  }
+  if (!report.all_done()) {
+    std::fprintf(stderr, "campaign incomplete: %zu failed, %zu timed out, %zu refused\n",
+                 report.num_failed, report.num_timed_out, report.num_refused);
+    return 1;
+  }
+  std::printf("campaign complete: %zu/%zu jobs (%zu resumed); artifacts in %s\n",
+              report.num_done, report.records.size(), report.resumed_jobs, dir);
+  std::printf("golden digests: %s\n", campaign_golden_path(dir).c_str());
+  return 0;
+}
+
+int cmd_campaign_verify(const char* golden_path) {
+  const GoldenStore golden = GoldenStore::from_json(read_file(golden_path));
+  const Campaign campaign = standard_campaign(golden.seed);
+  if (golden.campaign != campaign.name) {
+    std::fprintf(stderr, "golden store '%s' describes campaign '%s', not '%s'\n", golden_path,
+                 golden.campaign.c_str(), campaign.name.c_str());
+    return 1;
+  }
+
+  CampaignConfig config;  // in-memory: no checkpoint, no artifacts
+  config.interrupt = &g_interrupted;
+  std::signal(SIGINT, on_campaign_signal);
+  std::signal(SIGTERM, on_campaign_signal);
+  const CampaignReport report = CampaignRunner(config).run(campaign);
+  if (report.interrupted) {
+    std::fprintf(stderr, "verification interrupted\n");
+    return 130;
+  }
+  if (!report.all_done()) {
+    std::fprintf(stderr, "verification run incomplete: %zu failed, %zu timed out, %zu refused\n",
+                 report.num_failed, report.num_timed_out, report.num_refused);
+    return 1;
+  }
+
+  const GoldenStore fresh = GoldenStore::from_report(campaign, report);
+  const auto mismatches = diff_golden(golden, fresh);
+  if (!mismatches.empty()) {
+    std::fprintf(stderr, "golden digest verification FAILED (%zu mismatch(es) vs %s):\n",
+                 mismatches.size(), golden_path);
+    for (const GoldenMismatch& m : mismatches) {
+      std::fprintf(stderr, "  %-24s expected %s, got %s\n", m.job.c_str(), m.expected.c_str(),
+                   m.actual.c_str());
+    }
+    return 1;
+  }
+  std::printf("golden digests verified: %zu job(s) match %s\n", golden.digests.size(),
+              golden_path);
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: bcclb <command> [args]\n"
@@ -255,8 +371,12 @@ int usage() {
                "  upper  <n> <b> [seed=1]\n"
                "  bfs    <n> <p> [seed=1]\n"
                "  faults <n> <b> [seed=2019]\n"
+               "  campaign <dir> [seed=2019]\n"
+               "  campaign --resume <dir> [seed=2019]\n"
+               "  campaign --verify [golden=results/golden.json]\n"
                "adversaries: silent id-bits hashed-id coin-xor-id port-parity echo state-hash\n"
-               "numeric arguments must be whole in-range numbers\n");
+               "numeric arguments must be whole in-range numbers\n"
+               "campaign honours BCCLB_THREADS and BCCLB_MEM_BUDGET (bytes, K/M/G suffix)\n");
   return 2;
 }
 
@@ -307,6 +427,22 @@ int dispatch(int argc, char** argv) {
     const auto seed = argc >= 5 ? parse_u64(argv[4]) : std::optional<std::uint64_t>(1);
     if (!n || !p || !seed) return usage();
     return cmd_bfs(*n, *p, *seed);
+  }
+  if (cmd == "campaign" && argc >= 3) {
+    const std::string arg = argv[2];
+    if (arg == "--verify") {
+      return cmd_campaign_verify(argc >= 4 ? argv[3] : "results/golden.json");
+    }
+    if (arg == "--resume") {
+      if (argc < 4) return usage();
+      const auto seed = argc >= 5 ? parse_u64(argv[4]) : std::optional<std::uint64_t>(2019);
+      if (!seed) return usage();
+      return cmd_campaign_run(argv[3], *seed, /*resume=*/true);
+    }
+    if (arg.empty() || arg[0] == '-') return usage();
+    const auto seed = argc >= 4 ? parse_u64(argv[3]) : std::optional<std::uint64_t>(2019);
+    if (!seed) return usage();
+    return cmd_campaign_run(argv[2], *seed, /*resume=*/false);
   }
   if (cmd == "faults" && argc >= 4) {
     const auto n = parse_size(argv[2]);
