@@ -22,7 +22,7 @@ int main() {
   std::printf("(a) size ratio vs harmonic prediction\n");
   std::printf("%3s %10s %10s %9s %9s %8s\n", "n", "|V1|", "|V2|", "ratio", "H(n/2)-1.5",
               "ratio/pred");
-  for (std::size_t n = 6; n <= 9; ++n) {
+  for (std::size_t n = 6; n <= 10; ++n) {
     const auto g = build_indistinguishability_graph(n, all_edges_active());
     const double pred = harmonic(n / 2) - 1.5;
     std::printf("%3zu %10zu %10zu %9.4f %9.4f %8.3f\n", n, g.one_cycles.size(),
@@ -43,7 +43,7 @@ int main() {
   const auto g = build_indistinguishability_graph(n, all_edges_active());
 
   std::printf("\n(b) degrees at n = %zu\n", n);
-  std::printf("  every one-cycle degree = %zu (exact n(n-5)/2 = %zu)\n", g.adj[0].size(),
+  std::printf("  every one-cycle degree = %zu (exact n(n-5)/2 = %zu)\n", g.neighbors(0).size(),
               n * (n - 5) / 2);
   const auto deg2 = g.two_cycle_degrees();
   std::printf("  %-28s %8s %10s\n", "two-cycle class", "count", "degree");
@@ -77,7 +77,7 @@ int main() {
     std::vector<bool> seen(g.two_cycles.size(), false);
     std::size_t nbrs = 0;
     for (std::size_t i = 0; i < take; ++i) {
-      for (std::uint32_t j : g.adj[i]) {
+      for (std::uint32_t j : g.neighbors(i)) {
         if (!seen[j]) {
           seen[j] = true;
           ++nbrs;

@@ -16,7 +16,7 @@ int main() {
   std::printf("%-6s %2s %9s %9s %6s %12s\n", "matrix", "n", "dim", "rank", "full?",
               "log2(rank)");
 
-  for (std::size_t n = 1; n <= 7; ++n) {
+  for (std::size_t n = 1; n <= 8; ++n) {
     const RankReport r = partition_matrix_rank(n);
     std::printf("M_%-4zu %2zu %9zu %9zu %6s %12.2f\n", n, n, r.dimension,
                 std::max(r.rank_gf2, r.rank_modp), r.full_rank ? "yes" : "NO",

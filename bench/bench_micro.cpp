@@ -80,7 +80,26 @@ void BM_IndistGraphBuild(benchmark::State& state) {
     benchmark::DoNotOptimize(build_indistinguishability_graph(n, all_edges_active()));
   }
 }
-BENCHMARK(BM_IndistGraphBuild)->Arg(6)->Arg(7)->Arg(8)->Unit(benchmark::kMillisecond);
+// n = 10 (|V1| = 181,440) dominates the suite's wall clock; select or skip it
+// with --benchmark_filter='BM_IndistGraphBuild/(10|...)' when iterating.
+BENCHMARK(BM_IndistGraphBuild)
+    ->Arg(6)
+    ->Arg(7)
+    ->Arg(8)
+    ->Arg(9)
+    ->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+// Serial vs sharded packed kernel at n = 9; the argument is the thread
+// count. Outputs are bit-identical (deterministic ordered merge), so this
+// measures the parallel speedup alone.
+void BM_IndistGraphBuildThreads(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_indistinguishability_graph(9, all_edges_active(), threads));
+  }
+}
+BENCHMARK(BM_IndistGraphBuildThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_Gf2Rank(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -89,7 +108,7 @@ void BM_Gf2Rank(benchmark::State& state) {
     benchmark::DoNotOptimize(Gf2Matrix::from_bool_matrix(m).rank());
   }
 }
-BENCHMARK(BM_Gf2Rank)->Arg(5)->Arg(6)->Arg(7)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Gf2Rank)->Arg(5)->Arg(6)->Arg(7)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_SimulatorBoruvka(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

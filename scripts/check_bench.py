@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Guard the combinatorial-kernel benchmarks against regressions.
+
+Usage:
+    bench_micro --benchmark_filter=... --benchmark_format=json \
+        | scripts/check_bench.py results/bench_baseline.json
+
+Compares each benchmark's cpu_time against the checked-in baseline and fails
+(exit 1) if any is slower than TOLERANCE x baseline (default 2.0 — generous
+enough to absorb machine-to-machine variance between the baseline host and
+CI runners, tight enough to catch an accidental return to the string-keyed /
+schoolbook code paths, which were 5-25x slower).
+
+Benchmarks present in the run but missing from the baseline are reported and
+ignored (so adding a benchmark does not require lock-step baseline updates);
+baseline entries missing from the run fail, so the guarded set cannot
+silently shrink.
+
+Refresh the baseline with:
+    bench_micro --benchmark_filter=<filter> --benchmark_format=json \
+        > results/bench_baseline.json   # then sanity-check the diff
+"""
+
+import json
+import os
+import sys
+
+
+def load_times(doc):
+    """benchmark name -> cpu_time in ns, skipping aggregate rows."""
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        times[b["name"]] = float(b["cpu_time"]) * scale
+    return times
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        baseline = load_times(json.load(f))
+    current = load_times(json.load(sys.stdin))
+    tolerance = float(os.environ.get("BCCLB_BENCH_TOLERANCE", "2.0"))
+
+    failures = []
+    for name, base_ns in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: present in baseline but missing from this run")
+            continue
+        ratio = current[name] / base_ns
+        verdict = "FAIL" if ratio > tolerance else "ok"
+        print(f"{verdict:4s} {name}: {current[name] / 1e6:.3f} ms vs baseline "
+              f"{base_ns / 1e6:.3f} ms ({ratio:.2f}x)")
+        if ratio > tolerance:
+            failures.append(f"{name}: {ratio:.2f}x slower than baseline "
+                            f"(tolerance {tolerance:.2f}x)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"new  {name}: {current[name] / 1e6:.3f} ms (no baseline entry)")
+
+    if failures:
+        print("\nBenchmark regressions:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nAll {len(baseline)} guarded benchmarks within {tolerance:.2f}x of baseline.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,38 +1,20 @@
 #include "bcc/batch_runner.h"
 
 #include <atomic>
-#include <cerrno>
 #include <chrono>
-#include <cstdlib>
 #include <exception>
 #include <thread>
 
 #include "common/check.h"
 #include "common/errors.h"
+#include "common/parallel.h"
 
 namespace bcclb {
 
 BatchRunner::BatchRunner(unsigned num_threads)
     : threads_(num_threads == 0 ? default_threads() : num_threads) {}
 
-unsigned BatchRunner::default_threads() {
-  if (const char* env = std::getenv("BCCLB_THREADS")) {
-    // Strict whole-string parse: strtol alone would accept leading
-    // whitespace and "7x"-style prefixes. Malformed, zero, negative or
-    // overflowing values fall through to the hardware default instead of
-    // being trusted; in-range values clamp to [1, 256].
-    char* end = nullptr;
-    errno = 0;
-    const long parsed = std::strtol(env, &end, 10);
-    const bool numeric =
-        env[0] >= '0' && env[0] <= '9' && end != env && *end == '\0' && errno != ERANGE;
-    if (numeric && parsed >= 1) {
-      return static_cast<unsigned>(parsed > 256 ? 256 : parsed);
-    }
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
+unsigned BatchRunner::default_threads() { return default_parallel_threads(); }
 
 const char* job_status_name(JobStatus status) {
   switch (status) {

@@ -1,0 +1,64 @@
+#include "common/parallel.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace bcclb {
+
+unsigned default_parallel_threads() {
+  if (const char* env = std::getenv("BCCLB_THREADS")) {
+    // Strict whole-string parse: strtol alone would accept leading
+    // whitespace and "7x"-style prefixes. Malformed, zero, negative or
+    // overflowing values fall through to the hardware default instead of
+    // being trusted; in-range values clamp to [1, 256].
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env, &end, 10);
+    const bool numeric =
+        env[0] >= '0' && env[0] <= '9' && end != env && *end == '\0' && errno != ERANGE;
+    if (numeric && parsed >= 1) {
+      return static_cast<unsigned>(parsed > 256 ? 256 : parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for_blocks(std::size_t count, unsigned threads,
+                         const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  if (threads == 0) threads = default_parallel_threads();
+  const std::size_t workers = std::min<std::size_t>(threads, count);
+  if (workers <= 1) {
+    body(0, count);
+    return;
+  }
+
+  const std::size_t base = count / workers;
+  const std::size_t extra = count % workers;
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  std::size_t begin = 0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t len = base + (w < extra ? 1 : 0);
+    const std::size_t end = begin + len;
+    pool.emplace_back([&body, &errors, w, begin, end] {
+      try {
+        body(begin, end);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+    begin = end;
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace bcclb

@@ -204,8 +204,8 @@ Kt0MatchingReport kt0_matching_experiment(std::size_t n, unsigned t,
   report.n = n;
   report.t = t;
 
-  const auto v1 = all_one_cycle_structures(n);
-  const auto v2 = all_two_cycle_structures(n);
+  auto v1 = all_one_cycle_structures(n);
+  auto v2 = all_two_cycle_structures(n);
   report.v1 = v1.size();
   report.v2 = v2.size();
   report.size_ratio = static_cast<double>(v2.size()) / static_cast<double>(v1.size());
@@ -253,21 +253,25 @@ Kt0MatchingReport kt0_matching_experiment(std::size_t n, unsigned t,
   const std::string y = report.best_label.substr(t);
 
   // G^t_{x,y} and its matching bounds. Transcripts were already computed;
-  // rebuild activity from them (structures enumerate in the same order).
-  std::size_t next = 0;
-  std::map<std::string, std::size_t> order_of;
-  for (const CycleStructure& cs : v1) order_of[cs.key()] = next++;
-  const ActiveEdgeFn active = [&](const CycleStructure& cs) {
-    const auto it = order_of.find(cs.key());
-    BCCLB_CHECK(it != order_of.end(), "activity queried for unknown one-cycle");
-    return active_edges(cs, transcripts[it->second], x, y);
-  };
-  const IndistinguishabilityGraph g = build_indistinguishability_graph(n, active);
+  // label each one-cycle's activity straight from its stored transcript
+  // (v1[i] pairs with transcripts[i]), sharded over the pool, then hand the
+  // flat table and both enumerations to the packed kernel — no per-structure
+  // closure call or key lookup anywhere in the build.
+  std::vector<std::vector<DirectedEdge>> rows(v1.size());
+  runner.for_each(v1.size(), [&](std::size_t i) {
+    rows[i] = active_edges(v1[i], transcripts[i], x, y);
+  });
+  ActiveEdgeTable table;
+  table.offsets.reserve(v1.size() + 1);
+  table.edges.reserve(v1.size() * n);
+  for (const auto& row : rows) table.push_row(row);
+  const IndistinguishabilityGraph g =
+      build_indistinguishability_graph(std::move(v1), std::move(v2), table);
   report.graph_edges = g.num_edges();
   report.max_matching = max_bipartite_matching(g.adj, g.two_cycles.size());
   report.max_saturating_k = max_saturating_k(g.adj, g.two_cycles.size(), 8);
-  const double mu1 = 0.5 / static_cast<double>(v1.size());
-  const double mu2 = 0.5 / static_cast<double>(v2.size());
+  const double mu1 = 0.5 / static_cast<double>(g.one_cycles.size());
+  const double mu2 = 0.5 / static_cast<double>(g.two_cycles.size());
   report.matching_error_bound = static_cast<double>(report.max_matching) * std::min(mu1, mu2);
   return report;
 }

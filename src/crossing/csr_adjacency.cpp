@@ -1,0 +1,27 @@
+#include "crossing/csr_adjacency.h"
+
+namespace bcclb {
+
+CsrAdjacency CsrAdjacency::from_nested(const std::vector<std::vector<std::uint32_t>>& nested) {
+  CsrAdjacency csr;
+  csr.offsets.reserve(nested.size() + 1);
+  std::size_t total = 0;
+  for (const auto& row : nested) total += row.size();
+  csr.targets.reserve(total);
+  for (const auto& row : nested) {
+    csr.targets.insert(csr.targets.end(), row.begin(), row.end());
+    csr.offsets.push_back(static_cast<std::uint32_t>(csr.targets.size()));
+  }
+  return csr;
+}
+
+std::vector<std::vector<std::uint32_t>> CsrAdjacency::to_nested() const {
+  std::vector<std::vector<std::uint32_t>> nested(num_rows());
+  for (std::size_t i = 0; i < num_rows(); ++i) {
+    const auto r = row(i);
+    nested[i].assign(r.begin(), r.end());
+  }
+  return nested;
+}
+
+}  // namespace bcclb

@@ -1,8 +1,8 @@
 #include "crossing/indistinguishability_graph.h"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "bcc/batch_runner.h"
 #include "common/check.h"
 
 namespace bcclb {
@@ -11,17 +11,14 @@ ActiveEdgeFn all_edges_active() {
   return [](const CycleStructure& cs) { return cs.directed_edges(); };
 }
 
-std::size_t IndistinguishabilityGraph::num_edges() const {
-  std::size_t total = 0;
-  for (const auto& nbrs : adj) total += nbrs.size();
-  return total;
+void ActiveEdgeTable::push_row(std::span<const DirectedEdge> row_edges) {
+  edges.insert(edges.end(), row_edges.begin(), row_edges.end());
+  offsets.push_back(static_cast<std::uint32_t>(edges.size()));
 }
 
 std::vector<std::size_t> IndistinguishabilityGraph::two_cycle_degrees() const {
   std::vector<std::size_t> deg(two_cycles.size(), 0);
-  for (const auto& nbrs : adj) {
-    for (std::uint32_t j : nbrs) ++deg[j];
-  }
+  for (std::uint32_t j : adj.targets) ++deg[j];
   return deg;
 }
 
@@ -30,39 +27,168 @@ double IndistinguishabilityGraph::size_ratio() const {
   return static_cast<double>(two_cycles.size()) / static_cast<double>(one_cycles.size());
 }
 
-IndistinguishabilityGraph build_indistinguishability_graph(std::size_t n,
-                                                           const ActiveEdgeFn& active) {
-  BCCLB_REQUIRE(n >= 6 && n <= 11, "exhaustive enumeration supports 6 <= n <= 11");
-  IndistinguishabilityGraph g;
-  g.one_cycles = all_one_cycle_structures(n);
-  g.two_cycles = all_two_cycle_structures(n);
+namespace {
 
-  std::unordered_map<std::string, std::uint32_t> two_cycle_index;
-  two_cycle_index.reserve(g.two_cycles.size());
-  for (std::uint32_t j = 0; j < g.two_cycles.size(); ++j) {
-    two_cycle_index.emplace(g.two_cycles[j].key(), j);
+// Open-addressing map from canonical packed successor word to dense V2
+// index. Linear probing over a power-of-two table at load factor <= 1/2;
+// the legacy unordered_map<std::string, ...> spent most of the build in key
+// materialization and node allocations, this probes one or two cache lines.
+class PackedIndex {
+ public:
+  explicit PackedIndex(const std::vector<CycleStructure>& structures) {
+    std::size_t cap = 16;
+    while (cap < structures.size() * 2) cap <<= 1;
+    mask_ = cap - 1;
+    keys_.assign(cap, kEmpty);
+    vals_.resize(cap);
+    for (std::uint32_t j = 0; j < structures.size(); ++j) {
+      insert(structures[j].packed_successors(), j);
+    }
   }
 
-  g.adj.resize(g.one_cycles.size());
-  for (std::uint32_t i = 0; i < g.one_cycles.size(); ++i) {
-    const CycleStructure& i1 = g.one_cycles[i];
-    const auto act = active(i1);
-    auto& nbrs = g.adj[i];
-    for (std::size_t a = 0; a < act.size(); ++a) {
-      for (std::size_t b = a + 1; b < act.size(); ++b) {
-        if (!i1.edges_independent(act[a], act[b])) continue;
-        const CycleStructure crossed = i1.crossed(act[a], act[b]);
-        BCCLB_CHECK(crossed.is_two_cycle(),
-                    "crossing two edges of a one-cycle must give a two-cycle");
-        const auto it = two_cycle_index.find(crossed.key());
-        BCCLB_CHECK(it != two_cycle_index.end(), "crossed structure missing from V2");
-        nbrs.push_back(it->second);
-      }
+  std::uint32_t find(PackedStructure key) const {
+    std::size_t slot = hash(key) & mask_;
+    for (;;) {
+      if (keys_[slot] == key) return vals_[slot];
+      BCCLB_CHECK(keys_[slot] != kEmpty, "crossed structure missing from V2");
+      slot = (slot + 1) & mask_;
     }
-    std::sort(nbrs.begin(), nbrs.end());
-    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+
+ private:
+  // All-ones is never a valid successor word (vertex 15 would be a fixed
+  // point), so it can mark empty slots.
+  static constexpr PackedStructure kEmpty = ~PackedStructure{0};
+
+  static std::size_t hash(PackedStructure x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+
+  void insert(PackedStructure key, std::uint32_t val) {
+    std::size_t slot = hash(key) & mask_;
+    while (keys_[slot] != kEmpty) {
+      BCCLB_CHECK(keys_[slot] != key, "duplicate structure in V2");
+      slot = (slot + 1) & mask_;
+    }
+    keys_[slot] = key;
+    vals_[slot] = val;
+  }
+
+  std::size_t mask_;
+  std::vector<PackedStructure> keys_;
+  std::vector<std::uint32_t> vals_;
+};
+
+}  // namespace
+
+IndistinguishabilityGraph build_indistinguishability_graph(
+    std::vector<CycleStructure> one_cycles, std::vector<CycleStructure> two_cycles,
+    const ActiveEdgeTable& active, unsigned num_threads) {
+  BCCLB_REQUIRE(!one_cycles.empty(), "empty V1");
+  BCCLB_REQUIRE(active.num_rows() == one_cycles.size(),
+                "active-edge table must have one row per one-cycle");
+  const std::size_t n = one_cycles.front().num_vertices();
+  BCCLB_REQUIRE(n <= kMaxPackedVertices, "packed kernel supports n <= 16");
+
+  IndistinguishabilityGraph g;
+  g.one_cycles = std::move(one_cycles);
+  g.two_cycles = std::move(two_cycles);
+  const std::size_t v1 = g.one_cycles.size();
+
+  const PackedIndex index(g.two_cycles);
+
+  // Fixed-stride scratch: row i owns scratch[i*cap, i*cap+cap). cap is the
+  // worst-case pair count over all rows, so workers never contend and the
+  // merge below reads rows in index order regardless of which worker filled
+  // them.
+  std::size_t cap = 1;
+  for (std::size_t i = 0; i < v1; ++i) {
+    const std::size_t d = active.offsets[i + 1] - active.offsets[i];
+    cap = std::max(cap, d * (d - 1) / 2);
+  }
+  std::vector<std::uint32_t> scratch(v1 * cap);
+  std::vector<std::uint32_t> counts(v1, 0);
+
+  // Shard contiguous one-cycle ranges across the BatchRunner pool. Every
+  // row's result depends only on its own index, so any shard count (and
+  // hence any thread count) produces the same bytes.
+  const BatchRunner runner(num_threads);
+  const std::size_t shards = std::min<std::size_t>(runner.num_threads(), v1);
+  const std::size_t base = v1 / shards;
+  const std::size_t extra = v1 % shards;
+  runner.for_each(shards, [&](std::size_t w) {
+    const std::size_t begin = w * base + std::min(w, extra);
+    const std::size_t end = begin + base + (w < extra ? 1 : 0);
+    for (std::size_t i = begin; i < end; ++i) {
+      const PackedStructure succ = g.one_cycles[i].packed_successors();
+      const std::span<const DirectedEdge> act = active.row(i);
+      std::uint32_t* out = scratch.data() + i * cap;
+      std::uint32_t cnt = 0;
+      for (std::size_t a = 0; a < act.size(); ++a) {
+        const VertexId va = act[a].tail, ua = act[a].head;
+        BCCLB_CHECK(packed_successor(succ, va) == ua,
+                    "active edge is not a clockwise input edge");
+        for (std::size_t b = a + 1; b < act.size(); ++b) {
+          const VertexId vb = act[b].tail, ub = act[b].head;
+          // Definition 3.2 in successor arithmetic: the endpoints are
+          // distinct (tails/heads of distinct cycle edges can only collide
+          // head-on-tail) and neither reconnection is already an input edge.
+          if (ua == vb || ub == va) continue;
+          if (packed_successor(succ, ub) == va || packed_successor(succ, ua) == vb) continue;
+          // The crossing I(e_a, e_b): rewire va -> ub and vb -> ua. On a
+          // one-cycle this always splits into a two-cycle structure.
+          PackedStructure crossed = packed_with_successor(succ, va, ub);
+          crossed = packed_with_successor(crossed, vb, ua);
+          out[cnt++] = index.find(canonical_packed(crossed, n));
+        }
+      }
+      std::sort(out, out + cnt);
+      counts[i] = static_cast<std::uint32_t>(std::unique(out, out + cnt) - out);
+    }
+  });
+
+  // Ordered merge into CSR, serially over ascending i.
+  g.adj.offsets.assign(v1 + 1, 0);
+  for (std::size_t i = 0; i < v1; ++i) {
+    g.adj.offsets[i + 1] = g.adj.offsets[i] + counts[i];
+  }
+  g.adj.targets.resize(g.adj.offsets[v1]);
+  for (std::size_t i = 0; i < v1; ++i) {
+    std::copy_n(scratch.data() + i * cap, counts[i], g.adj.targets.data() + g.adj.offsets[i]);
   }
   return g;
+}
+
+IndistinguishabilityGraph build_indistinguishability_graph(std::size_t n,
+                                                           const ActiveEdgeTable& active,
+                                                           unsigned num_threads) {
+  BCCLB_REQUIRE(n >= 6 && n <= 11, "exhaustive enumeration supports 6 <= n <= 11");
+  return build_indistinguishability_graph(all_one_cycle_structures(n),
+                                          all_two_cycle_structures(n), active, num_threads);
+}
+
+IndistinguishabilityGraph build_indistinguishability_graph(std::size_t n,
+                                                           const ActiveEdgeFn& active,
+                                                           unsigned num_threads) {
+  BCCLB_REQUIRE(n >= 6 && n <= 11, "exhaustive enumeration supports 6 <= n <= 11");
+  auto one_cycles = all_one_cycle_structures(n);
+  auto two_cycles = all_two_cycle_structures(n);
+  // Closures may be stateful or expensive (a simulator run per structure),
+  // so evaluate them serially in enumeration order, exactly as the legacy
+  // serial builder did; only the crossing kernel itself runs sharded.
+  ActiveEdgeTable table;
+  table.offsets.reserve(one_cycles.size() + 1);
+  table.edges.reserve(one_cycles.size() * n);
+  for (const CycleStructure& cs : one_cycles) {
+    table.push_row(active(cs));
+  }
+  return build_indistinguishability_graph(std::move(one_cycles), std::move(two_cycles), table,
+                                          num_threads);
 }
 
 NeighborDegreeProfile neighbor_degree_profile(const CycleStructure& one_cycle,

@@ -7,23 +7,45 @@
 
 namespace bcclb {
 
-HopcroftKarp::HopcroftKarp(std::vector<std::vector<std::uint32_t>> adj, std::size_t num_right)
-    : adj_(std::move(adj)),
-      num_right_(num_right),
-      match_l_(adj_.size(), kUnmatched),
-      match_r_(num_right, kUnmatched),
-      dist_(adj_.size(), 0) {
-  for (const auto& nbrs : adj_) {
-    for (std::uint32_t r : nbrs) {
-      BCCLB_REQUIRE(r < num_right_, "right index out of range");
-    }
+namespace {
+
+void validate_targets(const CsrAdjacency& adj, std::size_t num_right) {
+  for (std::uint32_t r : adj.targets) {
+    BCCLB_REQUIRE(r < num_right, "right index out of range");
   }
+}
+
+}  // namespace
+
+HopcroftKarp::HopcroftKarp(const CsrAdjacency& adj, std::size_t num_right, unsigned clone_k)
+    : adj_(&adj),
+      clone_k_(clone_k),
+      num_left_(adj.num_rows() * clone_k),
+      num_right_(num_right),
+      match_l_(num_left_, kUnmatched),
+      match_r_(num_right, kUnmatched),
+      dist_(num_left_, 0) {
+  BCCLB_REQUIRE(clone_k >= 1, "clone factor must be positive");
+  validate_targets(adj, num_right);
+}
+
+HopcroftKarp::HopcroftKarp(const std::vector<std::vector<std::uint32_t>>& adj,
+                           std::size_t num_right)
+    : owned_(CsrAdjacency::from_nested(adj)),
+      adj_(&owned_),
+      clone_k_(1),
+      num_left_(owned_.num_rows()),
+      num_right_(num_right),
+      match_l_(num_left_, kUnmatched),
+      match_r_(num_right, kUnmatched),
+      dist_(num_left_, 0) {
+  validate_targets(owned_, num_right);
 }
 
 bool HopcroftKarp::bfs() {
   constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
   std::queue<std::uint32_t> q;
-  for (std::uint32_t l = 0; l < adj_.size(); ++l) {
+  for (std::uint32_t l = 0; l < num_left_; ++l) {
     if (match_l_[l] == kUnmatched) {
       dist_[l] = 0;
       q.push(l);
@@ -35,7 +57,7 @@ bool HopcroftKarp::bfs() {
   while (!q.empty()) {
     const std::uint32_t l = q.front();
     q.pop();
-    for (std::uint32_t r : adj_[l]) {
+    for (std::uint32_t r : row(l)) {
       const std::uint32_t next = match_r_[r];
       if (next == kUnmatched) {
         found_augmenting = true;
@@ -50,7 +72,7 @@ bool HopcroftKarp::bfs() {
 
 bool HopcroftKarp::dfs(std::uint32_t l) {
   constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
-  for (std::uint32_t r : adj_[l]) {
+  for (std::uint32_t r : row(l)) {
     const std::uint32_t next = match_r_[r];
     if (next == kUnmatched || (dist_[next] == dist_[l] + 1 && dfs(next))) {
       match_l_[l] = r;
@@ -65,44 +87,55 @@ bool HopcroftKarp::dfs(std::uint32_t l) {
 std::size_t HopcroftKarp::max_matching() {
   std::size_t matched = 0;
   while (bfs()) {
-    for (std::uint32_t l = 0; l < adj_.size(); ++l) {
+    for (std::uint32_t l = 0; l < num_left_; ++l) {
       if (match_l_[l] == kUnmatched && dfs(l)) ++matched;
     }
   }
   return matched;
 }
 
-std::size_t max_bipartite_matching(const std::vector<std::vector<std::uint32_t>>& adj,
-                                   std::size_t num_right) {
+std::size_t max_bipartite_matching(const CsrAdjacency& adj, std::size_t num_right) {
   HopcroftKarp hk(adj, num_right);
   return hk.max_matching();
 }
 
-bool has_saturating_k_matching(const std::vector<std::vector<std::uint32_t>>& adj,
-                               std::size_t num_right, unsigned k) {
+std::size_t max_bipartite_matching(const std::vector<std::vector<std::uint32_t>>& adj,
+                                   std::size_t num_right) {
+  return max_bipartite_matching(CsrAdjacency::from_nested(adj), num_right);
+}
+
+bool has_saturating_k_matching(const CsrAdjacency& adj, std::size_t num_right, unsigned k) {
   BCCLB_REQUIRE(k >= 1, "k must be positive");
-  // Theorem 2.1's construction: clone each positive-degree left vertex k
-  // times; a perfect matching of the clones is a k-matching.
-  std::vector<std::vector<std::uint32_t>> cloned;
+  // Theorem 2.1's construction, clone-free: left vertex l of the k-cloned
+  // graph reads row l / k. Empty rows clone to empty rows, which can never
+  // be matched and never enter an augmenting path, so including them leaves
+  // the maximum matching exactly the positive-degree construction's.
   std::size_t positive = 0;
-  for (const auto& nbrs : adj) {
-    if (nbrs.empty()) continue;
-    ++positive;
-    for (unsigned c = 0; c < k; ++c) cloned.push_back(nbrs);
+  for (std::size_t i = 0; i < adj.num_rows(); ++i) {
+    if (adj.row_size(i) > 0) ++positive;
   }
   if (positive == 0) return true;
-  HopcroftKarp hk(std::move(cloned), num_right);
+  HopcroftKarp hk(adj, num_right, k);
   return hk.max_matching() == positive * k;
 }
 
-unsigned max_saturating_k(const std::vector<std::vector<std::uint32_t>>& adj,
-                          std::size_t num_right, unsigned k_limit) {
+bool has_saturating_k_matching(const std::vector<std::vector<std::uint32_t>>& adj,
+                               std::size_t num_right, unsigned k) {
+  return has_saturating_k_matching(CsrAdjacency::from_nested(adj), num_right, k);
+}
+
+unsigned max_saturating_k(const CsrAdjacency& adj, std::size_t num_right, unsigned k_limit) {
   unsigned best = 0;
   for (unsigned k = 1; k <= k_limit; ++k) {
     if (!has_saturating_k_matching(adj, num_right, k)) break;
     best = k;
   }
   return best;
+}
+
+unsigned max_saturating_k(const std::vector<std::vector<std::uint32_t>>& adj,
+                          std::size_t num_right, unsigned k_limit) {
+  return max_saturating_k(CsrAdjacency::from_nested(adj), num_right, k_limit);
 }
 
 }  // namespace bcclb

@@ -8,37 +8,56 @@
 // the distributional error bound: an algorithm answers identically on the
 // two endpoints of every matched indistinguishable pair, so it errs on the
 // lighter endpoint.
+//
+// The matcher runs directly on a borrowed CSR adjacency (csr_adjacency.h).
+// k-cloning is implicit — left clone l reads row l / k — so E4's per-
+// adversary/per-round k-matching probes never deep-copy the graph.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "crossing/csr_adjacency.h"
+
 namespace bcclb {
 
 class HopcroftKarp {
  public:
-  // adj[l] lists the right-neighbors of left vertex l (indices < num_right).
-  HopcroftKarp(std::vector<std::vector<std::uint32_t>> adj, std::size_t num_right);
+  // Borrows `adj` (caller keeps it alive for the matcher's lifetime); left
+  // vertex l of num_rows * clone_k logical lefts reads row l / clone_k, so
+  // clone_k > 1 runs Theorem 2.1's cloned graph without materializing it.
+  explicit HopcroftKarp(const CsrAdjacency& adj, std::size_t num_right,
+                        unsigned clone_k = 1);
+
+  // Legacy nested-vector entry: converts once into an owned CSR.
+  HopcroftKarp(const std::vector<std::vector<std::uint32_t>>& adj, std::size_t num_right);
 
   // Size of a maximum matching.
   std::size_t max_matching();
 
   // match_left()[l] = matched right vertex or kUnmatched (valid after
-  // max_matching()).
+  // max_matching()); indexed by logical (cloned) left vertex.
   static constexpr std::uint32_t kUnmatched = static_cast<std::uint32_t>(-1);
   const std::vector<std::uint32_t>& match_left() const { return match_l_; }
 
  private:
+  std::span<const std::uint32_t> row(std::uint32_t l) const {
+    return adj_->row(clone_k_ == 1 ? l : l / clone_k_);
+  }
   bool bfs();
   bool dfs(std::uint32_t l);
 
-  std::vector<std::vector<std::uint32_t>> adj_;
+  CsrAdjacency owned_;        // backing store for the legacy constructor only
+  const CsrAdjacency* adj_;   // borrowed rows (or &owned_)
+  unsigned clone_k_;
+  std::size_t num_left_;      // num_rows * clone_k
   std::size_t num_right_;
   std::vector<std::uint32_t> match_l_, match_r_;
   std::vector<std::uint32_t> dist_;
 };
 
 // Size of the maximum matching of the bipartite graph (adj, num_right).
+std::size_t max_bipartite_matching(const CsrAdjacency& adj, std::size_t num_right);
 std::size_t max_bipartite_matching(const std::vector<std::vector<std::uint32_t>>& adj,
                                    std::size_t num_right);
 
@@ -46,11 +65,13 @@ std::size_t max_bipartite_matching(const std::vector<std::vector<std::uint32_t>>
 // exists (left vertices with empty adjacency are skipped — an isolated
 // instance has no indistinguishable partner and is excluded from S in
 // Lemma 3.8's statement).
+bool has_saturating_k_matching(const CsrAdjacency& adj, std::size_t num_right, unsigned k);
 bool has_saturating_k_matching(const std::vector<std::vector<std::uint32_t>>& adj,
                                std::size_t num_right, unsigned k);
 
 // The largest k for which has_saturating_k_matching holds (0 when even k=1
 // fails).
+unsigned max_saturating_k(const CsrAdjacency& adj, std::size_t num_right, unsigned k_limit);
 unsigned max_saturating_k(const std::vector<std::vector<std::uint32_t>>& adj,
                           std::size_t num_right, unsigned k_limit);
 

@@ -159,6 +159,38 @@ CycleStructure CycleStructure::crossed(const DirectedEdge& e1, const DirectedEdg
   return from_graph(g);
 }
 
+std::uint64_t CycleStructure::packed_successors() const {
+  BCCLB_REQUIRE(n_ <= kMaxPackedVertices, "packed encoding supports n <= 16");
+  PackedStructure s = 0;
+  for (const auto& cycle : cycles_) {
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      const VertexId next = cycle[(i + 1) % cycle.size()];
+      s |= PackedStructure{next} << (4 * cycle[i]);
+    }
+  }
+  return s;
+}
+
+CycleStructure CycleStructure::from_packed(std::uint64_t packed, std::size_t n) {
+  BCCLB_REQUIRE(n >= 3 && n <= kMaxPackedVertices, "packed encoding supports 3 <= n <= 16");
+  std::vector<std::vector<VertexId>> cycles;
+  std::uint32_t visited = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (visited & (1u << v)) continue;
+    std::vector<VertexId> cycle;
+    VertexId cur = v;
+    do {
+      BCCLB_REQUIRE(!(visited & (1u << cur)), "packed word is not a permutation");
+      visited |= 1u << cur;
+      cycle.push_back(cur);
+      cur = packed_successor(packed, cur);
+      BCCLB_REQUIRE(cur < n, "packed successor out of range");
+    } while (cur != v);
+    cycles.push_back(std::move(cycle));
+  }
+  return from_cycles(n, std::move(cycles));
+}
+
 std::string CycleStructure::key() const {
   std::string k;
   k.reserve(n_ + cycles_.size());

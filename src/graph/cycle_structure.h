@@ -74,6 +74,14 @@ class CycleStructure {
   // Compact byte key usable in hash maps; equal keys iff equal structures.
   std::string key() const;
 
+  // The packed 64-bit successor word of this (canonical) structure; requires
+  // n <= kMaxPackedVertices. Equal words iff equal structures.
+  std::uint64_t packed_successors() const;
+
+  // Rebuilds a structure from a valid packed successor word (every vertex on
+  // a cycle of length >= 3). Round-trips with packed_successors().
+  static CycleStructure from_packed(std::uint64_t packed, std::size_t n);
+
   friend bool operator==(const CycleStructure&, const CycleStructure&) = default;
 
  private:
@@ -83,6 +91,62 @@ class CycleStructure {
   std::size_t n_ = 0;
   std::vector<std::vector<VertexId>> cycles_;
 };
+
+// ---- Packed successor-word encoding -----------------------------------------
+//
+// For n <= 16, a cycle cover is exactly a fixed-point-free permutation of
+// [n] whose functional graph is the cover's clockwise traversal; packing the
+// successor of vertex v into bits [4v, 4v+4) of one 64-bit word makes a
+// whole structure a register value. The exhaustive kernels (the
+// indistinguishability-graph build, E3/E4) enumerate, cross, canonicalize
+// and hash millions of structures — with packed words every one of those
+// operations is a handful of shifts and a table probe, no allocation.
+
+inline constexpr std::size_t kMaxPackedVertices = 16;
+
+using PackedStructure = std::uint64_t;
+
+// Successor of v in the packed word.
+inline VertexId packed_successor(PackedStructure s, VertexId v) {
+  return static_cast<VertexId>((s >> (4 * v)) & 0xF);
+}
+
+// The packed word with v's successor replaced by u.
+inline PackedStructure packed_with_successor(PackedStructure s, VertexId v, VertexId u) {
+  const unsigned shift = 4 * v;
+  return (s & ~(PackedStructure{0xF} << shift)) | (PackedStructure{u} << shift);
+}
+
+// Canonical form of an arbitrary valid successor word: each cycle is
+// re-oriented so the traversal leaving its minimum vertex goes to the
+// smaller of its two neighbors (the same convention CycleStructure's
+// canonicalize() uses), making packed words equal iff the structures are
+// equal. O(n), allocation-free — this is the dedup key of the crossing
+// kernel's open-addressing index.
+inline PackedStructure canonical_packed(PackedStructure s, std::size_t n) {
+  std::uint8_t succ[kMaxPackedVertices];
+  std::uint8_t pred[kMaxPackedVertices];
+  for (std::size_t v = 0; v < n; ++v) {
+    succ[v] = static_cast<std::uint8_t>((s >> (4 * v)) & 0xF);
+    pred[succ[v]] = static_cast<std::uint8_t>(v);
+  }
+  PackedStructure out = 0;
+  std::uint32_t visited = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (visited & (1u << v)) continue;
+    // Ascending scan: v is the minimum of its not-yet-visited cycle. Orient
+    // so v's canonical successor is its smaller neighbor.
+    const bool forward = succ[v] < pred[v];
+    std::uint8_t cur = static_cast<std::uint8_t>(v);
+    do {
+      visited |= 1u << cur;
+      const std::uint8_t nxt = forward ? succ[cur] : pred[cur];
+      out |= PackedStructure{nxt} << (4 * cur);
+      cur = nxt;
+    } while (cur != v);
+  }
+  return out;
+}
 
 // Exhaustive enumeration of the instance space, used by the Lemma 3.7-3.9
 // and Theorem 3.1 experiments. Counts grow as (n-1)!/2, so these are meant

@@ -1,6 +1,10 @@
 #include "linalg/gf2_matrix.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace bcclb {
 
@@ -10,8 +14,9 @@ Gf2Matrix::Gf2Matrix(std::size_t rows, std::size_t cols)
 Gf2Matrix Gf2Matrix::from_bool_matrix(const BoolMatrix& m) {
   Gf2Matrix out(m.rows, m.cols);
   for (std::size_t r = 0; r < m.rows; ++r) {
+    std::uint64_t* row = out.bits_.data() + r * out.words_per_row_;
     for (std::size_t c = 0; c < m.cols; ++c) {
-      if (m.at(r, c)) out.set(r, c, true);
+      if (m.at(r, c)) row[c / 64] |= 1ULL << (c % 64);
     }
   }
   return out;
@@ -33,37 +38,143 @@ void Gf2Matrix::set(std::size_t r, std::size_t c, bool v) {
   }
 }
 
-std::size_t Gf2Matrix::rank() const {
+namespace {
+
+// One 8-column stripe starts at a multiple of 8, so it never straddles a
+// 64-bit word boundary.
+constexpr std::size_t kStripe = 8;
+
+inline std::uint64_t xor_rows(std::uint64_t* dst, const std::uint64_t* src, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) dst[w] ^= src[w];
+  return 0;
+}
+
+}  // namespace
+
+std::size_t Gf2Matrix::rank(unsigned num_threads) const {
   std::vector<std::uint64_t> work(bits_);
   const std::size_t wpr = words_per_row_;
+  auto row_ptr = [&](std::size_t r) { return work.data() + r * wpr; };
+
   std::size_t rank = 0;
-  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
-    const std::size_t word = col / 64;
-    const std::uint64_t mask = 1ULL << (col % 64);
-    // Find a pivot row at or below `rank` with a 1 in this column.
-    std::size_t pivot = rows_;
-    for (std::size_t r = rank; r < rows_; ++r) {
-      if (work[r * wpr + word] & mask) {
-        pivot = r;
-        break;
+  for (std::size_t stripe = 0; stripe < cols_ && rank < rows_; stripe += kStripe) {
+    const std::size_t stripe_cols = std::min(kStripe, cols_ - stripe);
+    const std::size_t ws = stripe / 64;          // word holding the stripe
+    const unsigned shift = stripe % 64;          // stripe's bit offset in it
+    const std::size_t suffix = wpr - ws;         // words from the stripe on
+    auto stripe_byte = [&](std::size_t r) {
+      return static_cast<unsigned>((row_ptr(r)[ws] >> shift) & 0xFF);
+    };
+
+    // Phase 1 — pivot search. Scan rows below `rank`; reduce each
+    // candidate's stripe BYTE by the pivot bytes found so far (ascending
+    // pivot column, byte arithmetic only — pivot rows are not modified
+    // during the scan, so their bytes stay valid). A zero remainder costs
+    // nothing beyond the byte ops; a nonzero remainder becomes the pivot
+    // for its lowest set bit, and only then is the accumulated reduction
+    // replayed on the candidate's full row so row and byte agree. Eight
+    // pivots span the stripe, so the scan can stop early.
+    std::size_t pivot_row_of[kStripe];  // by pivot column, valid where mask set
+    std::uint8_t pivot_byte_of[kStripe];
+    unsigned pivot_mask = 0;
+    for (std::size_t r = rank; r < rows_ && std::popcount(pivot_mask) < (int)stripe_cols; ++r) {
+      unsigned byte = stripe_byte(r);
+      unsigned used = 0;
+      for (unsigned m = byte & pivot_mask; m != 0;) {
+        const unsigned c = std::countr_zero(m);
+        byte ^= pivot_byte_of[c];
+        used |= 1u << c;
+        m = byte & pivot_mask & ~((1u << (c + 1)) - 1);
       }
-    }
-    if (pivot == rows_) continue;
-    if (pivot != rank) {
-      for (std::size_t w = 0; w < wpr; ++w) {
-        std::swap(work[pivot * wpr + w], work[rank * wpr + w]);
+      if (byte == 0) continue;
+      for (unsigned u = used; u != 0; u &= u - 1) {
+        xor_rows(row_ptr(r) + ws, row_ptr(pivot_row_of[std::countr_zero(u)]) + ws, suffix);
       }
+      const unsigned c = std::countr_zero(byte);
+      pivot_row_of[c] = r;
+      pivot_byte_of[c] = static_cast<std::uint8_t>(byte);
+      pivot_mask |= 1u << c;
     }
-    // Eliminate this column from every other row below the pivot. (Rows
-    // above can keep the bit; row echelon is enough for rank.)
-    for (std::size_t r = rank + 1; r < rows_; ++r) {
-      if (work[r * wpr + word] & mask) {
-        for (std::size_t w = word; w < wpr; ++w) {
-          work[r * wpr + w] ^= work[rank * wpr + w];
+    if (pivot_mask == 0) continue;
+
+    // Mutually reduce the pivot rows (reduced echelon within the stripe):
+    // afterwards pivot c's byte is zero at every other pivot column, so a
+    // row's pivot-bit pattern alone selects its clearing combination.
+    for (unsigned ci = pivot_mask; ci != 0; ci &= ci - 1) {
+      const unsigned c = std::countr_zero(ci);
+      for (unsigned cj = pivot_mask; cj != 0; cj &= cj - 1) {
+        const unsigned j = std::countr_zero(cj);
+        if (j == c) continue;
+        if (stripe_byte(pivot_row_of[j]) & (1u << c)) {
+          xor_rows(row_ptr(pivot_row_of[j]) + ws, row_ptr(pivot_row_of[c]) + ws, suffix);
         }
       }
     }
-    ++rank;
+
+    // Swap pivots into rows [rank, rank + p), ascending pivot column.
+    for (unsigned ci = pivot_mask; ci != 0; ci &= ci - 1) {
+      const unsigned c = std::countr_zero(ci);
+      const std::size_t src = pivot_row_of[c];
+      if (src != rank) {
+        std::swap_ranges(row_ptr(src), row_ptr(src) + wpr, row_ptr(rank));
+        // Another pivot may currently live at `rank`; track its new home.
+        for (unsigned cj = pivot_mask; cj != 0; cj &= cj - 1) {
+          const unsigned j = std::countr_zero(cj);
+          if (pivot_row_of[j] == rank) pivot_row_of[j] = src;
+        }
+      }
+      pivot_row_of[c] = rank;
+      ++rank;
+    }
+
+    if (rank >= rows_) break;
+    const std::size_t remaining = rows_ - rank;
+
+    // Phase 2 — four-Russians table: the XOR combination of pivot rows for
+    // every subset of pivot columns, indexed directly by a row's stripe
+    // byte masked to the pivot columns. Built in subset order so each entry
+    // is one row-XOR away from a previous one.
+    //
+    // A remaining row's stripe byte always clears completely: its pivot
+    // bits cancel by construction, and a surviving non-pivot bit would have
+    // made the row a pivot during the scan.
+    // Building the table costs 2^p row-XORs; the direct path costs about
+    // p/2 row-XORs per remaining row. The table amortizes once the tail is
+    // a third of the table size or more.
+    const std::size_t tail_pivots = std::popcount(pivot_mask);
+    if (remaining * 3 < (std::size_t{1} << tail_pivots)) {
+      // Table would cost more XORs than it saves; reduce the tail directly.
+      for (std::size_t r = rank; r < rows_; ++r) {
+        for (unsigned m = stripe_byte(r) & pivot_mask; m != 0;) {
+          const unsigned c = std::countr_zero(m);
+          xor_rows(row_ptr(r) + ws, row_ptr(pivot_row_of[c]) + ws, suffix);
+          m = stripe_byte(r) & pivot_mask & ~((1u << (c + 1)) - 1);
+        }
+      }
+      continue;
+    }
+
+    std::vector<std::uint64_t> table(256 * suffix, 0);
+    for (unsigned m = 1; m < 256; ++m) {
+      if (m & ~pivot_mask) continue;
+      const unsigned c = std::countr_zero(m);
+      std::uint64_t* dst = table.data() + m * suffix;
+      std::copy_n(table.data() + (m ^ (1u << c)) * suffix, suffix, dst);
+      xor_rows(dst, row_ptr(pivot_row_of[c]) + ws, suffix);
+    }
+
+    // Phase 3 — clear the stripe from every remaining row with one table
+    // lookup each. Rows are independent, so the loop shards across threads;
+    // each row's bytes are the same at any thread count.
+    const std::size_t row_work = remaining * suffix;
+    const unsigned threads = row_work >= (std::size_t{1} << 16) ? num_threads : 1;
+    parallel_for_blocks(remaining, threads, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t r = rank + i;
+        const unsigned m = stripe_byte(r) & pivot_mask;
+        if (m != 0) xor_rows(row_ptr(r) + ws, table.data() + m * suffix, suffix);
+      }
+    });
   }
   return rank;
 }

@@ -1,6 +1,7 @@
 #include "linalg/modp_matrix.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace bcclb {
 
@@ -53,8 +54,9 @@ void ModpMatrix::set(std::size_t r, std::size_t c, std::uint64_t v) {
   a_[r * cols_ + c] = v % p_;
 }
 
-std::size_t ModpMatrix::rank() const {
+std::size_t ModpMatrix::rank(unsigned num_threads) const {
   std::vector<std::uint64_t> work(a_);
+  const std::uint64_t p = p_;
   std::size_t rank = 0;
   for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
     std::size_t pivot = rows_;
@@ -70,17 +72,26 @@ std::size_t ModpMatrix::rank() const {
         std::swap(work[pivot * cols_ + c], work[rank * cols_ + c]);
       }
     }
-    const std::uint64_t inv = modp_inverse(work[rank * cols_ + col], p_);
-    for (std::size_t r = rank + 1; r < rows_; ++r) {
-      const std::uint64_t factor = work[r * cols_ + col];
-      if (factor == 0) continue;
-      const std::uint64_t scale = mulmod(factor, inv, p_);
-      for (std::size_t c = col; c < cols_; ++c) {
-        const std::uint64_t sub = mulmod(scale, work[rank * cols_ + c], p_);
-        std::uint64_t& cell = work[r * cols_ + c];
-        cell = (cell + p_ - sub) % p_;
+    const std::uint64_t inv = modp_inverse(work[rank * cols_ + col], p);
+    // Each row below the pivot is updated from the pivot row alone, so the
+    // eliminations shard across threads with identical results (modular
+    // arithmetic has no rounding, and no row reads another's update).
+    const std::uint64_t* pivot_row = work.data() + rank * cols_;
+    const std::size_t below = rows_ - rank - 1;
+    const std::size_t tail = cols_ - col;
+    const unsigned threads = below * tail >= (std::size_t{1} << 16) ? num_threads : 1;
+    parallel_for_blocks(below, threads, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        std::uint64_t* row = work.data() + (rank + 1 + i) * cols_;
+        const std::uint64_t factor = row[col];
+        if (factor == 0) continue;
+        const std::uint64_t scale = mulmod(factor, inv, p);
+        for (std::size_t c = col; c < cols_; ++c) {
+          const std::uint64_t sub = mulmod(scale, pivot_row[c], p);
+          row[c] = (row[c] + p - sub) % p;
+        }
       }
-    }
+    });
     ++rank;
   }
   return rank;

@@ -28,8 +28,12 @@ class ModpMatrix {
   std::uint64_t get(std::size_t r, std::size_t c) const;
   void set(std::size_t r, std::size_t c, std::uint64_t v);
 
-  // Rank via fraction-free Gaussian elimination modulo p (on a copy).
-  std::size_t rank() const;
+  // Rank via Gaussian elimination modulo p (on a copy). The per-row
+  // eliminations under one pivot are independent, so they shard across
+  // threads (common/parallel.h); modular arithmetic is exact, so the result
+  // and intermediate rows are identical at any thread count. num_threads ==
+  // 0 uses the BCCLB_THREADS / hardware default.
+  std::size_t rank(unsigned num_threads = 0) const;
 
  private:
   std::size_t rows_;

@@ -275,8 +275,8 @@ TEST(IndistGraph, RoundZeroDegreesMatchClosedForms) {
   // sketch of Lemma 3.9 quotes n(n-3)/2; the difference is the two pairs per
   // edge whose only independent pairing re-crosses to another ONE-cycle and
   // therefore contributes no V2 neighbor. Same Θ.)
-  for (const auto& nbrs : g.adj) {
-    EXPECT_EQ(nbrs.size(), n * (n - 5) / 2);
+  for (std::size_t i = 0; i < g.one_cycles.size(); ++i) {
+    EXPECT_EQ(g.neighbors(i).size(), n * (n - 5) / 2);
   }
   // Two-cycle with smaller cycle i has degree 2 * i * (n-i): picking one edge
   // from each cycle leaves two reconnecting pairings, each of which is a
@@ -294,7 +294,7 @@ TEST(IndistGraph, EdgesAreGenuineCrossings) {
   // Spot-check: every neighbor differs from the one-cycle by exactly 2 edges.
   for (std::size_t i = 0; i < 10; ++i) {
     const Graph gi = g.one_cycles[i].to_graph();
-    for (std::uint32_t j : g.adj[i]) {
+    for (std::uint32_t j : g.neighbors(i)) {
       const Graph gj = g.two_cycles[j].to_graph();
       std::size_t shared = 0;
       for (const Edge& e : gi.edges()) {
@@ -327,8 +327,10 @@ TEST(Matching, SimpleCases) {
   // Star: left {0,1,2} all pointing at right 0.
   std::vector<std::vector<std::uint32_t>> star(3, {0});
   EXPECT_EQ(max_bipartite_matching(star, 1), 1u);
-  // Empty.
-  EXPECT_EQ(max_bipartite_matching({{}, {}}, 4), 0u);
+  // Empty (spelled as CSR so the overload is unambiguous).
+  CsrAdjacency empty;
+  empty.offsets = {0, 0, 0};
+  EXPECT_EQ(max_bipartite_matching(empty, 4), 0u);
 }
 
 TEST(Matching, KMatchingCloning) {

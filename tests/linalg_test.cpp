@@ -1,9 +1,12 @@
 // Tests for GF(2) and mod-p matrix ranks.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/random.h"
 #include "linalg/gf2_matrix.h"
 #include "linalg/modp_matrix.h"
+#include "partition/join_matrix.h"
 
 namespace bcclb {
 namespace {
@@ -56,6 +59,110 @@ TEST(Gf2Matrix, GetSetRoundTrip) {
   m.set(1, 65, false);
   EXPECT_FALSE(m.get(1, 65));
   EXPECT_THROW(m.get(2, 0), std::invalid_argument);
+}
+
+// Column-at-a-time reference elimination (the pre-four-Russians algorithm),
+// the ground truth the striped implementation must reproduce exactly.
+std::size_t schoolbook_gf2_rank(const Gf2Matrix& m) {
+  const std::size_t rows = m.rows(), cols = m.cols();
+  std::vector<std::vector<bool>> work(rows, std::vector<bool>(cols));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) work[r][c] = m.get(r, c);
+  }
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols && rank < rows; ++col) {
+    std::size_t pivot = rows;
+    for (std::size_t r = rank; r < rows; ++r) {
+      if (work[r][col]) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot == rows) continue;
+    std::swap(work[pivot], work[rank]);
+    for (std::size_t r = rank + 1; r < rows; ++r) {
+      if (work[r][col]) {
+        for (std::size_t c = col; c < cols; ++c) work[r][c] = work[r][c] ^ work[rank][c];
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+Gf2Matrix random_gf2(std::size_t rows, std::size_t cols, double density, Rng& rng) {
+  Gf2Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.next_bernoulli(density)) m.set(r, c, true);
+    }
+  }
+  return m;
+}
+
+TEST(Gf2Matrix, FourRussiansMatchesSchoolbookOnRandomShapes) {
+  Rng rng(33);
+  // Shapes chosen to hit every stripe path: partial final stripes, more
+  // rows than table entries and fewer, multi-word rows, tall and wide.
+  const std::size_t shapes[][2] = {{1, 1},  {7, 13},   {64, 64},  {65, 100},
+                                   {100, 65}, {300, 40}, {40, 300}, {129, 129}};
+  for (const auto& s : shapes) {
+    for (double density : {0.05, 0.5, 0.95}) {
+      const Gf2Matrix m = random_gf2(s[0], s[1], density, rng);
+      EXPECT_EQ(m.rank(), schoolbook_gf2_rank(m))
+          << s[0] << "x" << s[1] << " density " << density;
+    }
+  }
+}
+
+TEST(Gf2Matrix, RankIsIdenticalAtEveryThreadCount) {
+  Rng rng(34);
+  const Gf2Matrix m = random_gf2(400, 300, 0.3, rng);
+  const std::size_t serial = m.rank(1);
+  for (unsigned threads : {2u, 8u}) {
+    EXPECT_EQ(m.rank(threads), serial) << "threads=" << threads;
+  }
+}
+
+TEST(ModpMatrix, RankIsIdenticalAtEveryThreadCount) {
+  Rng rng(35);
+  BoolMatrix bm;
+  bm.rows = bm.cols = 120;
+  bm.data.resize(bm.rows * bm.cols);
+  for (auto& x : bm.data) x = rng.next_bool() ? 1 : 0;
+  const ModpMatrix m = ModpMatrix::from_bool_matrix(bm, kPrime30A);
+  const std::size_t serial = m.rank(1);
+  for (unsigned threads : {2u, 8u}) {
+    EXPECT_EQ(m.rank(threads), serial) << "threads=" << threads;
+  }
+}
+
+TEST(RankCrossCheck, Gf2VsModpOnRandomJoinSubmatrices) {
+  // Random principal submatrices of the join matrix M_6. Both ranks lower-
+  // bound the rational rank; GF(2) can lose genuinely more (M_n itself has
+  // GF(2) rank 2^{n-1}), so the contract is rank_gf2 <= rank_modp, with
+  // equality forced whenever GF(2) already certifies full rank.
+  const BoolMatrix m6 = partition_join_matrix(6);
+  Rng rng(36);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<std::size_t> keep;
+    for (std::size_t i = 0; i < m6.rows; ++i) {
+      if (rng.next_bernoulli(0.3)) keep.push_back(i);
+    }
+    if (keep.empty()) continue;
+    BoolMatrix sub;
+    sub.rows = sub.cols = keep.size();
+    sub.data.resize(keep.size() * keep.size());
+    for (std::size_t r = 0; r < keep.size(); ++r) {
+      for (std::size_t c = 0; c < keep.size(); ++c) {
+        sub.at(r, c) = m6.at(keep[r], keep[c]);
+      }
+    }
+    const std::size_t r2 = Gf2Matrix::from_bool_matrix(sub).rank();
+    const std::size_t rp = ModpMatrix::from_bool_matrix(sub, kPrime30A).rank();
+    EXPECT_LE(r2, rp) << "trial " << trial << " dim " << keep.size();
+    if (r2 == keep.size()) EXPECT_EQ(rp, keep.size());
+  }
 }
 
 TEST(ModpMatrix, IdentityFullRank) {
