@@ -281,6 +281,45 @@ void BM_InstanceCountClosedForm(benchmark::State& state) {
 }
 BENCHMARK(BM_InstanceCountClosedForm)->Arg(64)->Arg(512)->Unit(benchmark::kMicrosecond);
 
+// Serving layer: the cache-hit path (hash lookup + LRU bump + full FNV-1a
+// re-verification of the stored bytes, so cost scales with artifact size)
+// and the wire codec that every request crosses twice.
+void BM_ArtifactCacheHit(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  ArtifactCache cache(64u << 20);
+  std::string artifact(bytes, 'x');
+  for (std::size_t i = 0; i < bytes; ++i) artifact[i] = static_cast<char>(i * 131);
+  cache.insert(0x9e3779b97f4a7c15ULL, std::move(artifact));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(0x9e3779b97f4a7c15ULL));
+  }
+}
+BENCHMARK(BM_ArtifactCacheHit)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RequestCodecRoundTrip(benchmark::State& state) {
+  Request request;
+  request.type = RequestType::kIndistGraph;
+  request.n = 8;
+  for (auto _ : state) {
+    const std::string payload = encode_request_payload(request);
+    benchmark::DoNotOptimize(
+        decode_request(static_cast<std::uint8_t>(request.type), payload));
+    benchmark::DoNotOptimize(request_cache_key(request));
+  }
+}
+BENCHMARK(BM_RequestCodecRoundTrip);
+
+void BM_CoalescePlan(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<std::uint64_t> keys(count);
+  for (auto& k : keys) k = rng.next_below(count / 4 + 1);  // ~4x duplication
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coalesce_by_key(keys));
+  }
+}
+BENCHMARK(BM_CoalescePlan)->Arg(64)->Arg(1024);
+
 void BM_RandomizedPlsVerify(benchmark::State& state) {
   Rng rng(9);
   const BccInstance inst = BccInstance::kt1(random_one_cycle(64, rng).to_graph());

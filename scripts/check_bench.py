@@ -1,24 +1,31 @@
 #!/usr/bin/env python3
-"""Guard the combinatorial-kernel benchmarks against regressions.
+"""Guard the benchmark suites against regressions.
 
 Usage:
     bench_micro --benchmark_filter=... --benchmark_format=json \
         | scripts/check_bench.py results/bench_baseline.json
+    bcclb loadgen ... | scripts/check_bench.py results/bench_serve.json
+    <some run> | scripts/check_bench.py --update results/bench_baseline.json
 
 Compares each benchmark's cpu_time against the checked-in baseline and fails
-(exit 1) if any is slower than TOLERANCE x baseline (default 2.0 — generous
-enough to absorb machine-to-machine variance between the baseline host and
-CI runners, tight enough to catch an accidental return to the string-keyed /
-schoolbook code paths, which were 5-25x slower).
+(exit 1) if any is slower than TOLERANCE x baseline (default 2.0, override
+with BCCLB_BENCH_TOLERANCE — generous enough to absorb machine-to-machine
+variance between the baseline host and CI runners, tight enough to catch an
+accidental return to the string-keyed / schoolbook code paths, which were
+5-25x slower).
 
 Benchmarks present in the run but missing from the baseline are reported and
 ignored (so adding a benchmark does not require lock-step baseline updates);
 baseline entries missing from the run fail, so the guarded set cannot
 silently shrink.
 
-Refresh the baseline with:
-    bench_micro --benchmark_filter=<filter> --benchmark_format=json \
-        > results/bench_baseline.json   # then sanity-check the diff
+--update replaces the baseline with the run read from stdin (after the same
+validation), so refreshing is one pipeline instead of a redirect plus a
+hand-check.
+
+All failure modes — missing baseline file, malformed JSON, entries with an
+absent or zero real_time — are named errors on stderr with exit 1, never
+tracebacks.
 """
 
 import json
@@ -26,24 +33,97 @@ import os
 import sys
 
 
-def load_times(doc):
-    """benchmark name -> cpu_time in ns, skipping aggregate rows."""
+class BenchCheckError(Exception):
+    """A named, expected failure: report and exit 1, no traceback."""
+
+
+def load_times(doc, origin):
+    """benchmark name -> cpu_time in ns, skipping aggregate rows.
+
+    Every counted entry must carry a positive real_time and cpu_time: a zero
+    or absent timing almost always means the producer crashed mid-write or
+    emitted a placeholder, and silently treating it as "0 ns" would make any
+    regression look infinitely slow (or pass a broken run as infinitely
+    fast).
+    """
+    if not isinstance(doc, dict):
+        raise BenchCheckError(f"{origin}: top-level JSON is not an object")
     times = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
+        name = b.get("name")
+        if not name:
+            raise BenchCheckError(f"{origin}: benchmark entry without a name")
+        for field in ("real_time", "cpu_time"):
+            try:
+                value = float(b[field])
+            except KeyError:
+                raise BenchCheckError(
+                    f"{origin}: entry '{name}' has no {field}") from None
+            except (TypeError, ValueError):
+                raise BenchCheckError(
+                    f"{origin}: entry '{name}' has non-numeric {field} "
+                    f"({b[field]!r})") from None
+            if value <= 0.0:
+                raise BenchCheckError(
+                    f"{origin}: entry '{name}' has zero/negative {field} "
+                    f"({value}) — refusing to treat a broken run as a baseline")
         unit = b.get("time_unit", "ns")
-        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
-        times[b["name"]] = float(b["cpu_time"]) * scale
+        try:
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        except KeyError:
+            raise BenchCheckError(
+                f"{origin}: entry '{name}' has unknown time_unit '{unit}'") from None
+        times[name] = float(b["cpu_time"]) * scale
+    if not times:
+        raise BenchCheckError(f"{origin}: no (non-aggregate) benchmark entries")
     return times
 
 
-def main():
-    if len(sys.argv) != 2:
-        sys.exit(__doc__)
-    with open(sys.argv[1]) as f:
-        baseline = load_times(json.load(f))
-    current = load_times(json.load(sys.stdin))
+def read_json(stream, origin):
+    try:
+        return json.load(stream)
+    except json.JSONDecodeError as e:
+        raise BenchCheckError(f"{origin}: not valid JSON ({e})") from None
+
+
+def read_baseline(path):
+    try:
+        with open(path) as f:
+            doc = read_json(f, path)
+    except FileNotFoundError:
+        raise BenchCheckError(
+            f"baseline '{path}' does not exist — create it by piping a "
+            f"known-good run through: check_bench.py --update {path}") from None
+    except OSError as e:
+        raise BenchCheckError(f"baseline '{path}': {e.strerror}") from None
+    return load_times(doc, path)
+
+
+def run(argv):
+    update = "--update" in argv
+    args = [a for a in argv if a != "--update"]
+    if len(args) != 1:
+        raise BenchCheckError(
+            "usage: check_bench.py [--update] <baseline.json>  (run JSON on stdin)")
+    baseline_path = args[0]
+
+    run_doc = read_json(sys.stdin, "stdin")
+    current = load_times(run_doc, "stdin")  # validate before any comparison/write
+
+    if update:
+        tmp_path = baseline_path + ".tmp"
+        with open(tmp_path, "w") as f:
+            json.dump(run_doc, f, indent=2)
+            f.write("\n")
+        os.replace(tmp_path, baseline_path)
+        print(f"baseline '{baseline_path}' updated with {len(current)} entries:")
+        for name in sorted(current):
+            print(f"  {name}: {current[name] / 1e6:.3f} ms")
+        return 0
+
+    baseline = read_baseline(baseline_path)
     tolerance = float(os.environ.get("BCCLB_BENCH_TOLERANCE", "2.0"))
 
     failures = []
@@ -65,8 +145,17 @@ def main():
         print("\nBenchmark regressions:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
-        sys.exit(1)
+        return 1
     print(f"\nAll {len(baseline)} guarded benchmarks within {tolerance:.2f}x of baseline.")
+    return 0
+
+
+def main():
+    try:
+        sys.exit(run(sys.argv[1:]))
+    except BenchCheckError as e:
+        print(f"check_bench: error: {e}", file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":

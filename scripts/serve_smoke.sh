@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Serve smoke test: one full bccd lifecycle with assertions at every step.
+#
+#   1. start `bcclb serve` on a Unix socket and wait for the readiness line;
+#   2. replay 1000 mixed requests at concurrency 8 with `bcclb loadgen`;
+#   3. assert from the JSON report: every request answered OK, cache hit
+#      rate > 0, zero protocol errors, zero digest/byte mismatches;
+#   4. SIGTERM the daemon and assert it drains and exits 0, printing final
+#      stats and removing the socket file.
+#
+# Run against a sanitized binary by passing its path:
+#   scripts/serve_smoke.sh build-san-address-undefined/tools/bcclb
+#
+# Set SERVE_SMOKE_JSON=<path> to keep the loadgen report after the run (CI
+# pipes it through check_bench.py to gate serve latency against
+# results/bench_serve.json).
+#
+# Usage: scripts/serve_smoke.sh [path-to-bcclb]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BCCLB="${1:-./build/tools/bcclb}"
+[ -x "$BCCLB" ] || { echo "error: $BCCLB not built" >&2; exit 2; }
+
+WORK="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCK="$WORK/bccd.sock"
+
+echo "== starting daemon on $SOCK"
+"$BCCLB" serve --socket "$SOCK" >"$WORK/daemon.log" 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+  grep -q "bccd listening on" "$WORK/daemon.log" 2>/dev/null && break
+  kill -0 "$daemon_pid" 2>/dev/null || {
+    echo "FAIL: daemon died before becoming ready" >&2
+    cat "$WORK/daemon.log" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+grep -q "bccd listening on" "$WORK/daemon.log" || {
+  echo "FAIL: daemon never printed the readiness line" >&2
+  cat "$WORK/daemon.log" >&2
+  exit 1
+}
+
+echo "== loadgen: 1000 mixed requests at concurrency 8"
+"$BCCLB" loadgen --socket "$SOCK" --requests 1000 --concurrency 8 --seed 1 \
+  --json "$WORK/loadgen.json"
+
+echo "== asserting on the report"
+python3 - "$WORK/loadgen.json" <<'PY'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+serve = doc["serve"]
+
+def check(cond, msg):
+    if not cond:
+        print(f"FAIL: {msg}\n  serve section: {serve}", file=sys.stderr)
+        sys.exit(1)
+
+check(serve["requests_sent"] == 1000, "expected 1000 requests sent")
+check(serve["ok"] + serve["stats_probes"] == serve["requests_sent"],
+      "not every request answered OK")
+check(serve["errors"] == 0,
+      f"typed errors under a clean mix: {serve['error_counts']}")
+check(serve["cache_hits"] > 0, "cache hit rate was zero")
+check(serve["cold"] > 0, "no cold builds — the cache cannot have been tested")
+check(serve["digest_mismatches"] == 0, "digest re-verification failed")
+check(serve["byte_mismatches"] == 0,
+      "repeated digests were not byte-identical")
+check(serve["throughput_rps"] > 0, "throughput not reported")
+
+hit_rate = serve["cache_hits"] / serve["requests_sent"]
+print(f"ok: {serve['ok']} answered, hit rate {hit_rate:.1%}, "
+      f"{serve['throughput_rps']:.0f} rps")
+PY
+
+if [ -n "${SERVE_SMOKE_JSON:-}" ]; then
+  cp "$WORK/loadgen.json" "$SERVE_SMOKE_JSON"
+  echo "== report kept at $SERVE_SMOKE_JSON"
+fi
+
+echo "== SIGTERM: drain and exit 0"
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+[ "$rc" -eq 0 ] || {
+  echo "FAIL: daemon exited $rc on SIGTERM, expected 0" >&2
+  cat "$WORK/daemon.log" >&2
+  exit 1
+}
+grep -q "bccd drained" "$WORK/daemon.log" || {
+  echo "FAIL: drained daemon did not flush final stats" >&2
+  cat "$WORK/daemon.log" >&2
+  exit 1
+}
+[ ! -e "$SOCK" ] || { echo "FAIL: socket file left behind after drain" >&2; exit 1; }
+
+echo "serve smoke test passed"

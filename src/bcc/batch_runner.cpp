@@ -4,12 +4,36 @@
 #include <chrono>
 #include <exception>
 #include <thread>
+#include <unordered_map>
 
 #include "common/check.h"
 #include "common/errors.h"
 #include "common/parallel.h"
 
 namespace bcclb {
+
+CoalescePlan coalesce_by_key(std::span<const std::uint64_t> keys) {
+  CoalescePlan plan;
+  plan.alias_of.resize(keys.size());
+  std::unordered_map<std::uint64_t, std::size_t> first;
+  first.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto [it, inserted] = first.emplace(keys[i], i);
+    plan.alias_of[i] = it->second;
+    if (inserted) plan.unique.push_back(i);
+  }
+  return plan;
+}
+
+CoalescePlan BatchRunner::for_each_coalesced(
+    std::span<const std::uint64_t> keys,
+    const std::function<void(std::size_t)>& body) const {
+  CoalescePlan plan = coalesce_by_key(keys);
+  // `unique` is ascending, so index order (and therefore error order, should
+  // the body throw) matches what running every index serially would produce.
+  for_each(plan.unique.size(), [&](std::size_t j) { body(plan.unique[j]); });
+  return plan;
+}
 
 BatchRunner::BatchRunner(unsigned num_threads)
     : threads_(num_threads == 0 ? default_threads() : num_threads) {}

@@ -22,12 +22,30 @@
 
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bcc/round_engine.h"
 
 namespace bcclb {
+
+// Deduplication map over a batch keyed by content digest: jobs with equal
+// keys are one computation. `unique` lists, in ascending order, the first
+// index of every distinct key — the indices that actually execute — and
+// `alias_of[i]` names the executed index whose result job i shares
+// (alias_of[u] == u for executed indices). The plan is a pure function of
+// the key sequence, so serial and parallel consumers shard identically.
+// This is the serving scheduler's coalescing hook: concurrent identical
+// requests in one drain batch cost one artifact build.
+struct CoalescePlan {
+  std::vector<std::size_t> unique;
+  std::vector<std::size_t> alias_of;
+
+  std::size_t num_coalesced() const { return alias_of.size() - unique.size(); }
+};
+
+CoalescePlan coalesce_by_key(std::span<const std::uint64_t> keys);
 
 // One independent simulator run. The fault plan and watchdog fields default
 // to "off", so pre-fault-layer brace initializers keep working unchanged.
@@ -131,6 +149,15 @@ class BatchRunner {
   void for_each_with_engine(
       std::size_t count,
       const std::function<void(std::size_t, RoundEngine&)>& body) const;
+
+  // Coalesced fan-out: runs `body(i)` once per distinct key — for the first
+  // index holding that key — in parallel, and returns the plan so the caller
+  // can replicate results onto the aliased indices. Results are bit-identical
+  // to calling body on every index iff body is a pure function of its job's
+  // key (the contract request handlers satisfy: the key is a content digest
+  // of the full request).
+  CoalescePlan for_each_coalesced(std::span<const std::uint64_t> keys,
+                                  const std::function<void(std::size_t)>& body) const;
 
  private:
   unsigned threads_;

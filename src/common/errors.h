@@ -19,6 +19,12 @@
 //   CheckpointError         — a campaign snapshot is missing, truncated,
 //                             corrupt, or inconsistent with its campaign
 //   ResourceBudgetError     — a job's footprint exceeds the memory budget
+//   ServeError              — base of the serving daemon's overload and
+//                             protocol taxonomy (src/serve/):
+//     QueueFullError        — the admission queue is at capacity (backpressure)
+//     RequestTooLargeError  — a request frame exceeds the payload cap
+//     ProtocolViolationError— malformed frame, unknown type, bad parameters
+//     DrainingError         — the daemon is draining and admits no new work
 #pragma once
 
 #include <cstdint>
@@ -129,6 +135,49 @@ class ResourceBudgetError : public BcclbError {
  public:
   using BcclbError::BcclbError;
   const char* kind() const noexcept override { return "ResourceBudgetError"; }
+};
+
+// ---- Serving daemon taxonomy (src/serve/) -----------------------------------
+//
+// Every way `bcclb serve` refuses work is a distinct leaf, so clients and the
+// load generator can count QueueFull (expected under overload, retryable)
+// separately from ProtocolViolation (a client bug, never retryable). Each
+// leaf maps 1:1 onto a wire status code (serve/wire.h).
+
+class ServeError : public BcclbError {
+ public:
+  using BcclbError::BcclbError;
+  const char* kind() const noexcept override { return "ServeError"; }
+};
+
+// Backpressure: the bounded admission queue is full. Transient by design —
+// the request was never admitted, so retrying after a backoff is safe.
+class QueueFullError : public ServeError {
+ public:
+  using ServeError::ServeError;
+  const char* kind() const noexcept override { return "QueueFullError"; }
+  bool transient() const noexcept override { return true; }
+};
+
+class RequestTooLargeError : public ServeError {
+ public:
+  using ServeError::ServeError;
+  const char* kind() const noexcept override { return "RequestTooLargeError"; }
+};
+
+class ProtocolViolationError : public ServeError {
+ public:
+  using ServeError::ServeError;
+  const char* kind() const noexcept override { return "ProtocolViolationError"; }
+};
+
+// Graceful shutdown: the daemon finishes in-flight work but admits nothing
+// new. Transient from the client's perspective only in the sense that another
+// server instance may accept the request; this one will not.
+class DrainingError : public ServeError {
+ public:
+  using ServeError::ServeError;
+  const char* kind() const noexcept override { return "DrainingError"; }
 };
 
 }  // namespace bcclb

@@ -1,0 +1,129 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/errors.h"
+
+namespace bcclb {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw ServeError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+ServeClient ServeClient::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw ServeError("client: unix socket path too long");
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("client: socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno(("client: connect '" + path + "'").c_str());
+  }
+  return ServeClient(fd);
+}
+
+ServeClient ServeClient::connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("client: socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("client: connect 127.0.0.1");
+  }
+  return ServeClient(fd);
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+ServeClient::~ServeClient() { close(); }
+
+void ServeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ServeClient::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void ServeClient::write_all(const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t w = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("client: send");
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+void ServeClient::read_exact(char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t r = ::recv(fd_, data + got, size - got, 0);
+    if (r == 0) throw ServeError("client: server closed the connection mid-frame");
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("client: recv");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+}
+
+void ServeClient::send_raw(std::string_view bytes) { write_all(bytes.data(), bytes.size()); }
+
+void ServeClient::send_frame(const Request& request) {
+  const std::string frame = encode_request_frame(request);
+  write_all(frame.data(), frame.size());
+}
+
+Response ServeClient::read_response() {
+  char header_bytes[kFrameHeaderBytes];
+  read_exact(header_bytes, sizeof header_bytes);
+  const FrameHeader header =
+      decode_frame_header(std::string_view(header_bytes, sizeof header_bytes));
+  std::string payload(header.payload_len, '\0');
+  if (header.payload_len > 0) read_exact(payload.data(), payload.size());
+  return decode_response(header, payload);
+}
+
+Response ServeClient::request(const Request& req) {
+  send_frame(req);
+  return read_response();
+}
+
+}  // namespace bcclb

@@ -1,0 +1,54 @@
+// Blocking client for the bccd wire protocol — used by `bcclb loadgen`,
+// serve_test, and the CLI's one-shot probe paths.
+//
+// One ServeClient owns one connection. request() is the synchronous
+// round-trip; send_frame()/read_response() expose the two halves for
+// pipelined use, and send_raw() lets tests write deliberately malformed
+// bytes. All failures surface as ServeError (transport) or
+// ProtocolViolationError (undecodable response).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/wire.h"
+
+namespace bcclb {
+
+class ServeClient {
+ public:
+  static ServeClient connect_unix(const std::string& path);
+  static ServeClient connect_tcp(std::uint16_t port);
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ~ServeClient();
+
+  // Synchronous round-trip: one request frame out, one response frame back.
+  Response request(const Request& request);
+
+  // Pipelining halves: responses to queued requests come back in send order.
+  void send_frame(const Request& request);
+  Response read_response();
+
+  // Writes arbitrary bytes (for protocol-abuse tests).
+  void send_raw(std::string_view bytes);
+
+  // Half-closes the write side, signalling the server we are done sending.
+  void shutdown_write();
+
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+  void write_all(const char* data, std::size_t size);
+  void read_exact(char* data, std::size_t size);
+
+  int fd_ = -1;
+};
+
+}  // namespace bcclb

@@ -1,0 +1,166 @@
+#include "serve/handlers.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "bcc/checkpoint.h"
+#include "comm/lower_bounds.h"
+#include "common/errors.h"
+#include "core/info_engine.h"
+#include "crossing/indistinguishability_graph.h"
+#include "crossing/matching.h"
+#include "graph/cycle_structure.h"
+
+namespace bcclb {
+
+namespace {
+
+// printf-append with a stack buffer; artifact lines are short and fixed.
+template <typename... Args>
+void appendf(std::string& out, const char* fmt, Args... args) {
+  char line[256];
+  std::snprintf(line, sizeof line, fmt, args...);
+  out += line;
+}
+
+std::uint64_t digest_of_u32s(const std::vector<std::uint32_t>& a,
+                             const std::vector<std::uint32_t>& b) {
+  std::uint64_t d = fnv1a(std::string_view(reinterpret_cast<const char*>(a.data()),
+                                           a.size() * sizeof(std::uint32_t)));
+  // Chain the second array through the first's digest (order-sensitive).
+  std::string tail;
+  tail.reserve(8 + b.size() * sizeof(std::uint32_t));
+  for (int i = 0; i < 8; ++i) tail.push_back(static_cast<char>((d >> (8 * i)) & 0xff));
+  tail.append(reinterpret_cast<const char*>(b.data()), b.size() * sizeof(std::uint32_t));
+  return fnv1a(tail);
+}
+
+// A packed word is a valid cover iff the nibbles form a permutation of [n]
+// whose cycles all have length >= 3 and whose high nibbles are zero.
+void validate_packed(std::uint32_t n, std::uint64_t packed) {
+  if (n < kMaxPackedVertices && (packed >> (4 * n)) != 0) {
+    throw ProtocolViolationError("classify: bits set beyond vertex " + std::to_string(n - 1));
+  }
+  bool seen[kMaxPackedVertices] = {};
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const VertexId s = packed_successor(packed, v);
+    if (s >= n) {
+      throw ProtocolViolationError("classify: successor of " + std::to_string(v) +
+                                   " is out of range");
+    }
+    if (seen[s]) {
+      throw ProtocolViolationError("classify: word is not a permutation (successor " +
+                                   std::to_string(s) + " repeats)");
+    }
+    seen[s] = true;
+  }
+  std::uint32_t visited = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (visited & (1u << v)) continue;
+    std::uint32_t len = 0;
+    VertexId cur = static_cast<VertexId>(v);
+    do {
+      visited |= 1u << cur;
+      cur = packed_successor(packed, cur);
+      ++len;
+    } while (cur != v);
+    if (len < 3) {
+      throw ProtocolViolationError("classify: cycle through " + std::to_string(v) +
+                                   " has length " + std::to_string(len) + " (< 3)");
+    }
+  }
+}
+
+}  // namespace
+
+std::string classify_artifact(std::uint32_t n, std::uint64_t packed) {
+  validate_packed(n, packed);
+  const std::uint64_t canonical = canonical_packed(packed, n);
+  const CycleStructure structure = CycleStructure::from_packed(canonical, n);
+
+  std::string out;
+  appendf(out, "classify n=%u word=%016llx\n", n, static_cast<unsigned long long>(packed));
+  appendf(out, "canonical = %016llx\n", static_cast<unsigned long long>(canonical));
+  out += "cycles =";
+  for (const auto& cycle : structure.cycles()) appendf(out, " %zu", cycle.size());
+  out += "\n";
+  const char* verdict = structure.is_one_cycle()   ? "ONE-CYCLE (TwoCycle answer: YES)"
+                        : structure.is_two_cycle() ? "TWO-CYCLE (TwoCycle answer: NO)"
+                                                   : "MULTI-CYCLE (outside the promise)";
+  appendf(out, "verdict = %s\n", verdict);
+  appendf(out, "smallest cycle = %zu\n", structure.smallest_cycle_length());
+  return out;
+}
+
+std::string indist_graph_artifact(std::uint32_t n, unsigned threads) {
+  const IndistinguishabilityGraph g =
+      build_indistinguishability_graph(n, all_edges_active(), threads);
+  const std::size_t v1 = g.one_cycles.size();
+  const std::size_t v2 = g.two_cycles.size();
+  const std::size_t matching = max_bipartite_matching(g.adj, v2);
+  const unsigned k = max_saturating_k(g.adj, v2, 8);
+
+  std::string out;
+  appendf(out, "indist-graph n=%u (round 0, all edges active)\n", n);
+  appendf(out, "|V1| = %zu, |V2| = %zu, edges = %zu\n", v1, v2, g.num_edges());
+  appendf(out, "ratio |V2|/|V1| = %.6f\n", g.size_ratio());
+  appendf(out, "csr digest = %s\n",
+          digest_hex(digest_of_u32s(g.adj.offsets, g.adj.targets)).c_str());
+  appendf(out, "max matching = %zu\n", matching);
+  appendf(out, "star packing: max saturating k = %u (Polygamous Hall / Theorem 2.1)\n", k);
+  // The Theorem 3.1 consequence of the certificate: a size-|V1| matching
+  // forces distributional error |M| * min(mu1, mu2) under the hard mu.
+  const double mu1 = 0.5 / static_cast<double>(v1);
+  const double mu2 = 0.5 / static_cast<double>(v2);
+  appendf(out, "matching error bound = %.6f\n",
+          static_cast<double>(matching) * (mu1 < mu2 ? mu1 : mu2));
+  return out;
+}
+
+std::string rank_artifact(std::uint8_t family, std::uint32_t n) {
+  const bool is_m = family == 'M';
+  const RankReport report = is_m ? partition_matrix_rank(n) : two_partition_matrix_rank(n);
+  std::string out;
+  appendf(out, "rank %c_%u (Theorem %s)\n", is_m ? 'M' : 'E', n, is_m ? "2.3" : "4.4");
+  appendf(out, "dimension = %zu\n", report.dimension);
+  appendf(out, "rank gf2 = %zu, rank mod-p = %zu\n", report.rank_gf2, report.rank_modp);
+  appendf(out, "full rank = %s\n", report.full_rank ? "yes" : "NO");
+  appendf(out, "log-rank CC bound = %.4f bits\n", report.log_rank_bound());
+  return out;
+}
+
+std::string info_artifact(std::uint32_t n, double keep_fraction) {
+  const InfoReport report = partition_comp_information(n, keep_fraction);
+  std::string out;
+  appendf(out, "info n=%u keep=%.6f (Theorem 4.5)\n", n, keep_fraction);
+  appendf(out, "H(PA) = %.6f bits, realized error = %.6f\n", report.h_pa,
+          report.realized_error);
+  appendf(out, "I(PA; Pi) = %.6f, Fano floor = %.6f\n", report.mutual_information,
+          report.fano_floor);
+  appendf(out, "max transcript bits = %llu\n",
+          static_cast<unsigned long long>(report.max_transcript_bits));
+  appendf(out, "implied BCC(1) rounds >= %.6f\n", report.implied_bcc_rounds);
+  return out;
+}
+
+std::string compute_artifact(const Request& request, unsigned threads) {
+  switch (request.type) {
+    case RequestType::kClassify:
+      return classify_artifact(request.n, request.packed);
+    case RequestType::kIndistGraph:
+      return indist_graph_artifact(request.n, threads);
+    case RequestType::kRank:
+      return rank_artifact(request.family, request.n);
+    case RequestType::kInfo: {
+      double keep;
+      std::memcpy(&keep, &request.keep_bits, sizeof keep);
+      return info_artifact(request.n, keep);
+    }
+    case RequestType::kStats:
+      break;
+  }
+  throw ProtocolViolationError("no artifact handler for request type " +
+                               std::to_string(static_cast<unsigned>(request.type)));
+}
+
+}  // namespace bcclb

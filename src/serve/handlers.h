@@ -1,0 +1,36 @@
+// Request -> artifact computation for the serving daemon.
+//
+// Every handler is a pure function of the decoded request (plus a worker
+// width that must not leak into the bytes): the artifact for a given request
+// is bit-identical across cold builds, cache hits, coalesced shares, thread
+// counts, and server restarts. That property is what makes the cache sound
+// and what serve_test and the loadgen digest checks enforce.
+//
+// Handlers throw BcclbError leaves for inputs that pass wire validation but
+// fail semantic checks (e.g. a packed word that is not a cycle cover ->
+// ProtocolViolationError); the scheduler maps them onto error frames.
+#pragma once
+
+#include <string>
+
+#include "serve/wire.h"
+
+namespace bcclb {
+
+// Dispatches on request.type. `threads` is the BatchRunner width handed to
+// the underlying kernels (0 = default); kStats is not handled here (the
+// server owns its own stats rendering).
+std::string compute_artifact(const Request& request, unsigned threads);
+
+// The individual pipelines, exposed for tests:
+// TwoCycle classification of a packed successor word (validates the word).
+std::string classify_artifact(std::uint32_t n, std::uint64_t packed);
+// Theorem 3.1 pipeline: round-0 indistinguishability graph in CSR form plus
+// the star-packing (saturating k-matching) certificate.
+std::string indist_graph_artifact(std::uint32_t n, unsigned threads);
+// Theorem 4.4 pipeline: GF(2)/mod-p rank certificate for M_n or E_n.
+std::string rank_artifact(std::uint8_t family, std::uint32_t n);
+// Theorem 4.5: PartitionComp information bound.
+std::string info_artifact(std::uint32_t n, double keep_fraction);
+
+}  // namespace bcclb

@@ -1,0 +1,298 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bcc/checkpoint.h"
+#include "common/errors.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "serve/client.h"
+
+namespace bcclb {
+
+namespace {
+
+ServeClient connect(const LoadgenConfig& config) {
+  if (!config.unix_path.empty()) return ServeClient::connect_unix(config.unix_path);
+  return ServeClient::connect_tcp(config.tcp_port);
+}
+
+double percentile_ms(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size());
+  std::size_t idx = pos <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(pos)) - 1;
+  idx = std::min(idx, sorted.size() - 1);
+  return sorted[idx];
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_ms;
+  std::vector<double> cold_ms;
+  std::vector<double> warm_ms;
+  std::size_t sent = 0, ok = 0, errors = 0;
+  std::size_t cold = 0, hits = 0, coalesced = 0, probes = 0;
+  std::size_t digest_mismatches = 0, byte_mismatches = 0;
+  std::map<std::string, std::uint64_t> error_counts;
+  std::string failure;  // non-empty: the worker died (transport error)
+};
+
+void append_json_kv(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", value);
+  out += "    \"";
+  out += key;
+  out += "\": ";
+  out += buf;
+}
+
+}  // namespace
+
+std::vector<Request> loadgen_request_pool(const LoadgenConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Request> pool;
+  std::unordered_set<std::uint64_t> keys;
+  const auto push_unique = [&](const Request& request) {
+    if (keys.insert(request_cache_key(request)).second) pool.push_back(request);
+  };
+  const auto clamp_n = [&](std::uint32_t lo, std::uint32_t hi) {
+    const std::uint32_t top = std::max(lo, std::min(config.max_n, hi));
+    return lo + static_cast<std::uint32_t>(rng.next_below(top - lo + 1));
+  };
+
+  static constexpr double kKeepChoices[] = {0.25, 0.5, 0.75, 1.0};
+  // Round-robin over the request families until the pool is full; the upper
+  // bound on attempts keeps a tiny parameter space (small max_n) from
+  // spinning forever once every distinct request is already in the pool.
+  for (std::size_t attempt = 0; pool.size() < config.pool_size && attempt < 64 * config.pool_size;
+       ++attempt) {
+    Request request;
+    switch (attempt % 4) {
+      case 0: {
+        request.type = RequestType::kClassify;
+        request.n = clamp_n(4, kMaxClassifyN > 12 ? 12 : kMaxClassifyN);
+        request.packed = random_one_cycle(request.n, rng).packed_successors();
+        break;
+      }
+      case 1: {
+        request.type = RequestType::kIndistGraph;
+        request.n = clamp_n(kMinIndistN, kMaxIndistN);
+        break;
+      }
+      case 2: {
+        request.type = RequestType::kRank;
+        if (rng.next_bool()) {
+          request.family = 'M';
+          request.n = clamp_n(2, kMaxRankMN);
+        } else {
+          request.family = 'E';
+          request.n = clamp_n(2, kMaxRankEN) & ~1u;  // even
+          if (request.n < 4) request.n = 4;
+        }
+        break;
+      }
+      default: {
+        request.type = RequestType::kInfo;
+        request.n = clamp_n(3, kMaxInfoN);
+        const double keep = kKeepChoices[rng.next_below(4)];
+        std::uint64_t bits;
+        static_assert(sizeof bits == sizeof keep);
+        std::memcpy(&bits, &keep, sizeof bits);
+        request.keep_bits = bits;
+        break;
+      }
+    }
+    push_unique(request);
+  }
+  if (pool.empty()) throw ServeError("loadgen: empty request pool (max_n too small?)");
+  return pool;
+}
+
+LoadgenReport run_loadgen(const LoadgenConfig& config) {
+  const std::vector<Request> pool = loadgen_request_pool(config);
+  const unsigned workers = std::max(1u, config.concurrency);
+
+  // First-seen artifact digest per cache key: byte-identity across repeats.
+  std::mutex seen_mutex;
+  std::unordered_map<std::uint64_t, std::uint64_t> seen_digests;
+
+  std::vector<WorkerResult> results(workers);
+  const auto started = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      WorkerResult& res = results[w];
+      try {
+        ServeClient client = connect(config);
+        Rng rng(config.seed ^ (0x6a09e667f3bcc909ULL * (w + 1)));
+        const std::size_t base = config.requests / workers;
+        const std::size_t quota = base + (w < config.requests % workers ? 1 : 0);
+        for (std::size_t i = 0; i < quota; ++i) {
+          Request request;
+          const bool probe = config.stats_every != 0 && i % config.stats_every == 0 && i > 0;
+          if (probe) {
+            request.type = RequestType::kStats;
+          } else {
+            request = pool[rng.next_below(pool.size())];
+          }
+          const auto t0 = std::chrono::steady_clock::now();
+          const Response response = client.request(request);
+          const auto t1 = std::chrono::steady_clock::now();
+          const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+          ++res.sent;
+          if (probe) {
+            ++res.probes;
+            continue;  // probes are health checks, not latency samples
+          }
+          if (response.status != StatusCode::kOk) {
+            ++res.errors;
+            ++res.error_counts[status_code_name(response.status)];
+            continue;
+          }
+          ++res.ok;
+          res.latencies_ms.push_back(ms);
+          if (fnv1a(response.artifact) != response.digest) ++res.digest_mismatches;
+          switch (response.source) {
+            case CacheSource::kCold:
+              ++res.cold;
+              res.cold_ms.push_back(ms);
+              break;
+            case CacheSource::kHit:
+              ++res.hits;
+              res.warm_ms.push_back(ms);
+              break;
+            case CacheSource::kCoalesced:
+              ++res.coalesced;
+              break;
+          }
+          {
+            const std::uint64_t key = request_cache_key(request);
+            std::lock_guard<std::mutex> lock(seen_mutex);
+            const auto [it, inserted] = seen_digests.emplace(key, response.digest);
+            if (!inserted && it->second != response.digest) ++res.byte_mismatches;
+          }
+        }
+      } catch (const std::exception& e) {
+        res.failure = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto finished = std::chrono::steady_clock::now();
+
+  for (const WorkerResult& res : results) {
+    if (!res.failure.empty()) {
+      throw ServeError("loadgen worker failed: " + res.failure);
+    }
+  }
+
+  LoadgenReport report;
+  std::vector<double> all, cold, warm;
+  for (WorkerResult& res : results) {
+    report.requests_sent += res.sent;
+    report.ok += res.ok;
+    report.errors += res.errors;
+    report.cold += res.cold;
+    report.cache_hits += res.hits;
+    report.coalesced += res.coalesced;
+    report.stats_probes += res.probes;
+    report.digest_mismatches += res.digest_mismatches;
+    report.byte_mismatches += res.byte_mismatches;
+    for (const auto& [name, count] : res.error_counts) report.error_counts[name] += count;
+    all.insert(all.end(), res.latencies_ms.begin(), res.latencies_ms.end());
+    cold.insert(cold.end(), res.cold_ms.begin(), res.cold_ms.end());
+    warm.insert(warm.end(), res.warm_ms.begin(), res.warm_ms.end());
+  }
+  std::sort(all.begin(), all.end());
+  std::sort(cold.begin(), cold.end());
+  std::sort(warm.begin(), warm.end());
+  report.wall_seconds = std::chrono::duration<double>(finished - started).count();
+  report.throughput_rps =
+      report.wall_seconds > 0 ? static_cast<double>(report.requests_sent) / report.wall_seconds
+                              : 0.0;
+  report.p50_ms = percentile_ms(all, 0.50);
+  report.p95_ms = percentile_ms(all, 0.95);
+  report.p99_ms = percentile_ms(all, 0.99);
+  report.cold_p50_ms = percentile_ms(cold, 0.50);
+  report.warm_p50_ms = percentile_ms(warm, 0.50);
+  return report;
+}
+
+std::string loadgen_report_json(const LoadgenConfig& config, const LoadgenReport& report) {
+  std::string out = "{\n  \"context\": {\n";
+  out += "    \"executable\": \"bcclb loadgen\",\n";
+  out += "    \"endpoint\": \"" +
+         (config.unix_path.empty() ? "tcp:127.0.0.1:" + std::to_string(config.tcp_port)
+                                   : "unix:" + config.unix_path) +
+         "\",\n";
+  out += "    \"requests\": " + std::to_string(config.requests) + ",\n";
+  out += "    \"concurrency\": " + std::to_string(config.concurrency) + ",\n";
+  out += "    \"seed\": " + std::to_string(config.seed) + ",\n";
+  out += "    \"pool_size\": " + std::to_string(config.pool_size) + "\n  },\n";
+
+  out += "  \"serve\": {\n";
+  const auto counter = [&out](const char* key, std::uint64_t value, bool comma = true) {
+    out += "    \"";
+    out += key;
+    out += "\": " + std::to_string(value) + (comma ? ",\n" : "\n");
+  };
+  counter("requests_sent", report.requests_sent);
+  counter("ok", report.ok);
+  counter("errors", report.errors);
+  counter("cold", report.cold);
+  counter("cache_hits", report.cache_hits);
+  counter("coalesced", report.coalesced);
+  counter("stats_probes", report.stats_probes);
+  counter("digest_mismatches", report.digest_mismatches);
+  counter("byte_mismatches", report.byte_mismatches);
+  append_json_kv(out, "wall_seconds", report.wall_seconds);
+  out += ",\n";
+  append_json_kv(out, "throughput_rps", report.throughput_rps);
+  out += ",\n    \"error_counts\": {";
+  bool first = true;
+  for (const auto& [name, count] : report.error_counts) {
+    out += first ? "" : ", ";
+    out += "\"" + name + "\": " + std::to_string(count);
+    first = false;
+  }
+  out += "}\n  },\n";
+
+  // Percentiles as non-aggregate benchmark entries with cpu_time ==
+  // real_time, so scripts/check_bench.py gates them like any bench_micro row.
+  out += "  \"benchmarks\": [\n";
+  const struct {
+    const char* name;
+    double ms;
+  } rows[] = {
+      {"serve/latency_p50", report.p50_ms},   {"serve/latency_p95", report.p95_ms},
+      {"serve/latency_p99", report.p99_ms},   {"serve/cold_p50", report.cold_p50_ms},
+      {"serve/warm_p50", report.warm_p50_ms},
+  };
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", rows[i].ms);
+    out += "    {\"name\": \"";
+    out += rows[i].name;
+    out += "\", \"run_type\": \"iteration\", \"iterations\": " +
+           std::to_string(report.ok) + ", \"real_time\": ";
+    out += buf;
+    out += ", \"cpu_time\": ";
+    out += buf;
+    out += ", \"time_unit\": \"ms\"}";
+    out += i + 1 < std::size(rows) ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace bcclb

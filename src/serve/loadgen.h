@@ -1,0 +1,74 @@
+// `bcclb loadgen` — seeded closed-loop load generator for the serving daemon.
+//
+// A deterministic pool of distinct requests is drawn from the seed; each of
+// `concurrency` workers owns one connection and replays pool picks (plus a
+// periodic stats probe) until the global request budget is spent. Every OK
+// response is verified twice: the frame digest against a local FNV-1a of the
+// artifact bytes, and the artifact digest against the first response ever
+// seen for that cache key — so a cache or coalescing bug that changes bytes
+// shows up as a nonzero mismatch counter, not a silently wrong benchmark.
+//
+// The report serializes to google-benchmark-compatible JSON (latency
+// percentiles as benchmark entries) so scripts/check_bench.py can gate it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/wire.h"
+
+namespace bcclb {
+
+struct LoadgenConfig {
+  // Endpoint, same convention as ServeConfig: unix_path wins over tcp_port.
+  std::string unix_path;
+  std::uint16_t tcp_port = 0;
+
+  std::size_t requests = 1000;
+  unsigned concurrency = 8;
+  std::uint64_t seed = 1;
+
+  // Distinct requests in the replay pool. Smaller pools mean hotter caches.
+  std::size_t pool_size = 24;
+  // Largest instance size the pool may ask for (clamped per request type).
+  std::uint32_t max_n = 8;
+  // Every stats_every-th request (per worker stream) is a health probe;
+  // 0 disables probes. Probe latencies are excluded from the percentiles.
+  std::size_t stats_every = 64;
+};
+
+struct LoadgenReport {
+  std::size_t requests_sent = 0;
+  std::size_t ok = 0;
+  std::size_t errors = 0;
+  std::size_t cold = 0;
+  std::size_t cache_hits = 0;
+  std::size_t coalesced = 0;
+  std::size_t stats_probes = 0;
+  // Frame digest != local FNV-1a of the artifact bytes.
+  std::size_t digest_mismatches = 0;
+  // Artifact bytes differ from an earlier response for the same cache key.
+  std::size_t byte_mismatches = 0;
+
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  double cold_p50_ms = 0.0;  // over cold-built responses only
+  double warm_p50_ms = 0.0;  // over cache-hit responses only
+
+  std::map<std::string, std::uint64_t> error_counts;  // status name -> count
+};
+
+// The deterministic request pool for a config (exposed for tests).
+std::vector<Request> loadgen_request_pool(const LoadgenConfig& config);
+
+// Runs the replay. Throws ServeError if a worker loses its connection.
+LoadgenReport run_loadgen(const LoadgenConfig& config);
+
+// google-benchmark-compatible JSON (percentiles under "benchmarks", run
+// metadata under "context", raw counters under "serve").
+std::string loadgen_report_json(const LoadgenConfig& config, const LoadgenReport& report);
+
+}  // namespace bcclb

@@ -1,0 +1,140 @@
+// The bccd wire protocol: versioned, length-prefixed binary frames.
+//
+// Every message — request or response — is one frame:
+//
+//     offset  size  field
+//          0     4  magic        "BCS1" (0x42 0x43 0x53 0x31 on the wire)
+//          4     1  version      kWireVersion (1)
+//          5     1  type         RequestType (echoed back in the response)
+//          6     2  status       little-endian; 0 in requests, StatusCode in
+//                                responses
+//          8     4  payload_len  little-endian byte count of the payload
+//         12     …  payload
+//
+// Request payloads are fixed little-endian fields per type (see Request);
+// an OK response payload is
+//
+//     u64 artifact_digest   FNV-1a of the artifact bytes (the PR 2 family)
+//     u8  cache_source      CacheSource: cold build / cache hit / coalesced
+//     u8[3] reserved        zero
+//     u32 artifact_len
+//     …   artifact          deterministic text artifact
+//
+// and an error response payload is a u32-length-prefixed UTF-8 message (the
+// error *kind* travels in the status field). All integers little-endian; the
+// protocol never carries pointers, padding, or host-endian bytes, so a
+// response is bit-identical regardless of which host produced it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bcclb {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+inline constexpr char kWireMagic[4] = {'B', 'C', 'S', '1'};
+
+// Request types cover the paper's core cached queries plus a health probe.
+enum class RequestType : std::uint8_t {
+  kStats = 1,        // health/stats probe (never cached, served inline)
+  kClassify = 2,     // TwoCycle classification of a packed cycle structure
+  kIndistGraph = 3,  // Theorem 3.1: indistinguishability-graph CSR +
+                     // star-packing certificate
+  kRank = 4,         // Theorem 4.4 pipeline: rank certificate for M_n / E_n
+  kInfo = 5,         // Theorem 4.5: PartitionComp information bound
+};
+
+const char* request_type_name(RequestType type);
+
+// Response status codes; every non-zero code maps 1:1 onto an errors.h leaf.
+enum class StatusCode : std::uint16_t {
+  kOk = 0,
+  kQueueFull = 1,        // QueueFullError — admission queue at capacity
+  kRequestTooLarge = 2,  // RequestTooLargeError — payload over the cap
+  kProtocolViolation = 3,  // ProtocolViolationError — malformed frame/params
+  kDraining = 4,           // DrainingError — daemon is shutting down
+  kComputeFailed = 5,      // handler threw a BcclbError (message names kind)
+  kInternal = 6,           // anything else; a server bug
+};
+
+const char* status_code_name(StatusCode code);
+
+// Where an OK response's artifact came from.
+enum class CacheSource : std::uint8_t {
+  kCold = 0,       // built for this request
+  kHit = 1,        // served from the artifact cache (digest re-verified)
+  kCoalesced = 2,  // shared a concurrent identical request's build
+};
+
+// A decoded request. Fields beyond `type` are meaningful per type:
+//   kClassify    — n, packed (successor word)
+//   kIndistGraph — n
+//   kRank        — family ('M' or 'E'), n
+//   kInfo        — n, keep_bits (IEEE-754 bit pattern of the keep fraction)
+struct Request {
+  RequestType type = RequestType::kStats;
+  std::uint32_t n = 0;
+  std::uint64_t packed = 0;
+  std::uint8_t family = 'M';
+  std::uint64_t keep_bits = 0x3ff0000000000000ULL;  // 1.0
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+// Canonical payload encoding of a request — the bytes that travel on the
+// wire, and the bytes whose FNV-1a is the cache key. One request, one byte
+// string, one key: content addressing falls out of the encoding.
+std::string encode_request_payload(const Request& request);
+
+// FNV-1a over type byte + canonical payload.
+std::uint64_t request_cache_key(const Request& request);
+
+// Full frames, ready to write to a socket.
+std::string encode_request_frame(const Request& request);
+std::string encode_ok_frame(RequestType type, CacheSource source, std::uint64_t digest,
+                            std::string_view artifact);
+std::string encode_error_frame(RequestType type, StatusCode code, std::string_view message);
+
+struct FrameHeader {
+  std::uint8_t version = 0;
+  std::uint8_t type = 0;
+  std::uint16_t status = 0;
+  std::uint32_t payload_len = 0;
+};
+
+// Parses the 12-byte header. Throws ProtocolViolationError on bad magic or
+// version — the stream cannot be re-synchronized past either. Length policy
+// (RequestTooLarge) is the server's, not the codec's.
+FrameHeader decode_frame_header(std::string_view bytes);
+
+// Decodes a request payload for `type`. Throws ProtocolViolationError on an
+// unknown type, short/overlong payload, or field values no handler accepts
+// (e.g. n beyond the serving range) — the one place parameter validation
+// happens, so the scheduler only ever sees well-formed requests.
+Request decode_request(std::uint8_t type, std::string_view payload);
+
+// A decoded response (client side).
+struct Response {
+  RequestType type = RequestType::kStats;
+  StatusCode status = StatusCode::kOk;
+  CacheSource source = CacheSource::kCold;
+  std::uint64_t digest = 0;      // FNV-1a the server computed; verify locally
+  std::string artifact;          // OK: artifact text; error: message
+};
+
+Response decode_response(const FrameHeader& header, std::string_view payload);
+
+// Serving ranges (validated in decode_request, documented in DESIGN.md §6):
+// exhaustive enumeration costs grow factorially, so the daemon refuses sizes
+// that cannot be served interactively even cold.
+inline constexpr std::uint32_t kMaxClassifyN = 16;   // packed-word limit
+inline constexpr std::uint32_t kMinIndistN = 6;      // exhaustive kernel floor
+inline constexpr std::uint32_t kMaxIndistN = 10;     // |V1| = 181,440
+inline constexpr std::uint32_t kMaxRankMN = 8;       // dim B_8 = 4140
+inline constexpr std::uint32_t kMaxRankEN = 10;      // dim 9!! = 945
+inline constexpr std::uint32_t kMaxInfoN = 8;        // B_8 partitions
+
+}  // namespace bcclb

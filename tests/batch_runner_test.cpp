@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -289,6 +291,45 @@ TEST(BatchReport, RetryExhaustionSurfacesLastErrorWithJobIndexIntact) {
       retry_backoff_ns(policy, 2, 1) + retry_backoff_ns(policy, 2, 2);
   EXPECT_EQ(report.jobs[2].backoff_ns_total, expected);
   EXPECT_GT(expected, 0u);
+}
+
+TEST(Coalesce, PlanAliasesDuplicatesToTheFirstOccurrence) {
+  const std::uint64_t keys[] = {10, 20, 10, 30, 20, 10};
+  const CoalescePlan plan = coalesce_by_key(keys);
+  EXPECT_EQ(plan.unique, (std::vector<std::size_t>{0, 1, 3}));
+  EXPECT_EQ(plan.alias_of, (std::vector<std::size_t>{0, 1, 0, 3, 1, 0}));
+  EXPECT_EQ(plan.num_coalesced(), 3u);
+}
+
+TEST(Coalesce, AllUniqueAndAllIdenticalExtremes) {
+  const std::uint64_t distinct[] = {1, 2, 3};
+  const CoalescePlan none = coalesce_by_key(distinct);
+  EXPECT_EQ(none.unique.size(), 3u);
+  EXPECT_EQ(none.num_coalesced(), 0u);
+
+  const std::uint64_t same[] = {7, 7, 7, 7};
+  const CoalescePlan all = coalesce_by_key(same);
+  EXPECT_EQ(all.unique, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(all.num_coalesced(), 3u);
+
+  const CoalescePlan empty = coalesce_by_key(std::span<const std::uint64_t>{});
+  EXPECT_TRUE(empty.unique.empty());
+  EXPECT_TRUE(empty.alias_of.empty());
+  EXPECT_EQ(empty.num_coalesced(), 0u);
+}
+
+TEST(Coalesce, ForEachCoalescedExecutesEachKeyExactlyOnce) {
+  std::vector<std::uint64_t> keys;
+  for (std::size_t i = 0; i < 40; ++i) keys.push_back(i % 7);
+  std::vector<std::atomic<int>> executions(40);
+  const CoalescePlan plan = BatchRunner(4).for_each_coalesced(
+      keys, [&](std::size_t i) { executions[i].fetch_add(1); });
+  ASSERT_EQ(plan.unique.size(), 7u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const bool is_first = i < 7;  // keys cycle 0..6, so first occurrences lead
+    EXPECT_EQ(executions[i].load(), is_first ? 1 : 0) << "index " << i;
+    EXPECT_EQ(plan.alias_of[i], i % 7) << "index " << i;
+  }
 }
 
 }  // namespace

@@ -1,14 +1,23 @@
-// Tests for the common substrate: RNG, public coins, BigUint, math helpers.
+// Tests for the common substrate: RNG, public coins, BigUint, math helpers,
+// and the parallel_for_blocks sharding contract.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/bigint.h"
 #include "common/check.h"
 #include "common/errors.h"
 #include "common/mathutil.h"
+#include "common/parallel.h"
 #include "common/random.h"
 
 namespace bcclb {
@@ -272,6 +281,79 @@ TEST(Errors, CatchableUnderTheLegacyInvalidArgumentContract) {
     EXPECT_STREQ(e.kind(), "JobTimeoutError");
     EXPECT_EQ(e.context().round, 9);
   }
+}
+
+// The blocks handed out for (count, threads): each body call records its
+// [begin, end) range.
+std::vector<std::pair<std::size_t, std::size_t>> record_blocks(std::size_t count,
+                                                               unsigned threads) {
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  parallel_for_blocks(count, threads, [&](std::size_t begin, std::size_t end) {
+    std::lock_guard<std::mutex> lock(m);
+    blocks.emplace_back(begin, end);
+  });
+  std::sort(blocks.begin(), blocks.end());
+  return blocks;
+}
+
+TEST(ParallelForBlocks, ZeroItemsNeverInvokesTheBody) {
+  for (const unsigned threads : {0u, 1u, 4u}) {
+    EXPECT_TRUE(record_blocks(0, threads).empty()) << "threads " << threads;
+  }
+}
+
+TEST(ParallelForBlocks, OneItemRunsInlineAsASingleBlock) {
+  const auto blocks = record_blocks(1, 8);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], std::make_pair(std::size_t{0}, std::size_t{1}));
+}
+
+TEST(ParallelForBlocks, MoreWorkersThanItemsStillCoversEveryIndexOnce) {
+  // threads (16) > count (5): blocks must still tile [0, 5) exactly.
+  const auto blocks = record_blocks(5, 16);
+  ASSERT_FALSE(blocks.empty());
+  EXPECT_LE(blocks.size(), 5u);
+  std::size_t expected_begin = 0;
+  for (const auto& [begin, end] : blocks) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_LT(begin, end);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, 5u);
+}
+
+TEST(ParallelForBlocks, SingleThreadRunsOnTheCallingThread) {
+  const auto caller = std::this_thread::get_id();
+  std::thread::id body_thread;
+  parallel_for_blocks(100, 1, [&](std::size_t, std::size_t) {
+    body_thread = std::this_thread::get_id();
+  });
+  EXPECT_EQ(body_thread, caller);
+}
+
+TEST(ParallelForBlocks, ShardingIsAPureFunctionOfCountAndThreads) {
+  // Same (count, threads) must shard identically on every call — the replay
+  // guarantee — and the uneven remainder goes to the leading blocks.
+  const auto first = record_blocks(17, 4);
+  const auto second = record_blocks(17, 4);
+  EXPECT_EQ(first, second);
+  ASSERT_EQ(first.size(), 4u);
+  EXPECT_EQ(first[0], std::make_pair(std::size_t{0}, std::size_t{5}));  // 17 % 4 = 1 extra
+  EXPECT_EQ(first[3].second, 17u);
+}
+
+TEST(ParallelForBlocks, ParallelSumBitIdenticalToSerial) {
+  const std::size_t count = 1000;
+  std::vector<std::uint64_t> serial(count), parallel(count);
+  const auto fill = [](std::vector<std::uint64_t>& out) {
+    return [&out](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) out[i] = i * 0x9e3779b97f4a7c15ULL;
+    };
+  };
+  parallel_for_blocks(count, 1, fill(serial));
+  parallel_for_blocks(count, 7, fill(parallel));
+  EXPECT_EQ(serial, parallel);
 }
 
 }  // namespace

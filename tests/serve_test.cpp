@@ -1,0 +1,615 @@
+// bccd serving subsystem: wire codec, artifact cache, handlers, the daemon
+// itself, and the load generator.
+//
+// The end-to-end tests run a real ServeServer on an ephemeral TCP port (or a
+// Unix socket where the test is about the socket file) with the I/O loop on
+// a background thread, and drive it through ServeClient — the same path
+// `bcclb serve` / `bcclb loadgen` take. The scheduler's test_hold hook makes
+// the overload and coalescing scenarios deterministic instead of racy.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bcc/checkpoint.h"
+#include "common/errors.h"
+#include "serve/artifact_cache.h"
+#include "serve/client.h"
+#include "serve/handlers.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace bcclb {
+namespace {
+
+// ---- helpers ---------------------------------------------------------------
+
+Request classify_request(std::uint32_t n, std::uint64_t packed) {
+  Request r;
+  r.type = RequestType::kClassify;
+  r.n = n;
+  r.packed = packed;
+  return r;
+}
+
+Request indist_request(std::uint32_t n) {
+  Request r;
+  r.type = RequestType::kIndistGraph;
+  r.n = n;
+  return r;
+}
+
+Request rank_request(char family, std::uint32_t n) {
+  Request r;
+  r.type = RequestType::kRank;
+  r.family = static_cast<std::uint8_t>(family);
+  r.n = n;
+  return r;
+}
+
+// Packed word of the canonical single cycle 0 -> 1 -> ... -> n-1 -> 0.
+std::uint64_t ring_word(std::uint32_t n) {
+  std::uint64_t packed = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    packed |= static_cast<std::uint64_t>((v + 1) % n) << (4 * v);
+  }
+  return packed;
+}
+
+// A released-once latch for ServeConfig::test_hold: the first scheduler pass
+// blocks until release(); later passes fall straight through.
+struct SchedulerHold {
+  std::mutex m;
+  std::condition_variable cv;
+  bool holding = false;
+  bool released = false;
+
+  std::function<void()> hook() {
+    return [this] {
+      std::unique_lock<std::mutex> lock(m);
+      holding = true;
+      cv.notify_all();
+      cv.wait(lock, [this] { return released; });
+    };
+  }
+  void wait_until_held() {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [this] { return holding; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lock(m);
+    released = true;
+    cv.notify_all();
+  }
+};
+
+// Binds, runs the I/O loop on a background thread, drains on destruction.
+class RunningServer {
+ public:
+  explicit RunningServer(ServeConfig config) : server_(std::move(config)) {
+    server_.bind();
+    thread_ = std::thread([this] { stats_ = server_.run(); });
+  }
+  ~RunningServer() {
+    if (thread_.joinable()) {
+      server_.begin_drain();
+      thread_.join();
+    }
+  }
+  ServeServer& server() { return server_; }
+  ServeClient connect() { return ServeClient::connect_tcp(server_.tcp_port()); }
+  ServeStats stop() {
+    server_.begin_drain();
+    thread_.join();
+    return stats_;
+  }
+
+ private:
+  ServeServer server_;
+  std::thread thread_;
+  ServeStats stats_;
+};
+
+// ---- wire codec ------------------------------------------------------------
+
+TEST(Wire, RequestRoundTripsEveryType) {
+  const Request requests[] = {
+      [] { Request r; r.type = RequestType::kStats; return r; }(),
+      classify_request(6, ring_word(6)),
+      indist_request(7),
+      rank_request('M', 5),
+      rank_request('E', 8),
+      [] {
+        Request r;
+        r.type = RequestType::kInfo;
+        r.n = 6;
+        r.keep_bits = 0x3fe0000000000000ULL;  // 0.5
+        return r;
+      }(),
+  };
+  for (const Request& request : requests) {
+    const std::string frame = encode_request_frame(request);
+    const FrameHeader header = decode_frame_header(frame);
+    EXPECT_EQ(header.version, kWireVersion);
+    EXPECT_EQ(header.status, 0);
+    ASSERT_EQ(frame.size(), kFrameHeaderBytes + header.payload_len);
+    const Request decoded =
+        decode_request(header.type, std::string_view(frame).substr(kFrameHeaderBytes));
+    EXPECT_EQ(decoded, request) << request_type_name(request.type);
+  }
+}
+
+TEST(Wire, OkAndErrorFramesRoundTrip) {
+  const std::string artifact = "rank M_5 ...\nfull rank = yes\n";
+  const std::string ok = encode_ok_frame(RequestType::kRank, CacheSource::kHit,
+                                         fnv1a(artifact), artifact);
+  const FrameHeader ok_header = decode_frame_header(ok);
+  const Response ok_resp =
+      decode_response(ok_header, std::string_view(ok).substr(kFrameHeaderBytes));
+  EXPECT_EQ(ok_resp.status, StatusCode::kOk);
+  EXPECT_EQ(ok_resp.source, CacheSource::kHit);
+  EXPECT_EQ(ok_resp.artifact, artifact);
+  EXPECT_EQ(ok_resp.digest, fnv1a(artifact));
+
+  const std::string err =
+      encode_error_frame(RequestType::kInfo, StatusCode::kQueueFull, "queue full");
+  const FrameHeader err_header = decode_frame_header(err);
+  const Response err_resp =
+      decode_response(err_header, std::string_view(err).substr(kFrameHeaderBytes));
+  EXPECT_EQ(err_resp.status, StatusCode::kQueueFull);
+  EXPECT_EQ(err_resp.type, RequestType::kInfo);
+  EXPECT_EQ(err_resp.artifact, "queue full");
+}
+
+TEST(Wire, RejectsBadMagicVersionAndTruncation) {
+  std::string frame = encode_request_frame(rank_request('M', 4));
+  std::string bad_magic = frame;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(decode_frame_header(bad_magic), ProtocolViolationError);
+
+  std::string bad_version = frame;
+  bad_version[4] = 9;
+  EXPECT_THROW(decode_frame_header(bad_version), ProtocolViolationError);
+
+  EXPECT_THROW(decode_frame_header(std::string_view(frame).substr(0, 5)),
+               ProtocolViolationError);
+
+  // Truncated and overlong payloads both fail decode_request.
+  const std::string_view payload = std::string_view(frame).substr(kFrameHeaderBytes);
+  EXPECT_THROW(decode_request(static_cast<std::uint8_t>(RequestType::kRank),
+                              payload.substr(0, payload.size() - 1)),
+               ProtocolViolationError);
+  EXPECT_THROW(decode_request(static_cast<std::uint8_t>(RequestType::kRank),
+                              std::string(payload) + "x"),
+               ProtocolViolationError);
+  EXPECT_THROW(decode_request(99, payload), ProtocolViolationError);
+}
+
+TEST(Wire, ValidatesParameterRanges) {
+  const auto decode = [](const Request& request) {
+    const std::string payload = encode_request_payload(request);
+    return decode_request(static_cast<std::uint8_t>(request.type), payload);
+  };
+  EXPECT_THROW(decode(classify_request(17, 0)), ProtocolViolationError);
+  EXPECT_THROW(decode(classify_request(2, 0)), ProtocolViolationError);
+  EXPECT_THROW(decode(indist_request(kMinIndistN - 1)), ProtocolViolationError);
+  EXPECT_THROW(decode(indist_request(kMaxIndistN + 1)), ProtocolViolationError);
+  EXPECT_THROW(decode(rank_request('X', 4)), ProtocolViolationError);
+  EXPECT_THROW(decode(rank_request('M', kMaxRankMN + 1)), ProtocolViolationError);
+  EXPECT_THROW(decode(rank_request('E', 7)), ProtocolViolationError);  // odd
+  Request info;
+  info.type = RequestType::kInfo;
+  info.n = 4;
+  info.keep_bits = 0x4000000000000000ULL;  // 2.0
+  EXPECT_THROW(decode(info), ProtocolViolationError);
+  info.keep_bits = 0x7ff8000000000000ULL;  // NaN
+  EXPECT_THROW(decode(info), ProtocolViolationError);
+}
+
+TEST(Wire, CacheKeyIsContentAddressed) {
+  EXPECT_EQ(request_cache_key(rank_request('M', 5)), request_cache_key(rank_request('M', 5)));
+  EXPECT_NE(request_cache_key(rank_request('M', 5)), request_cache_key(rank_request('M', 6)));
+  EXPECT_NE(request_cache_key(rank_request('M', 6)), request_cache_key(rank_request('E', 6)));
+  EXPECT_NE(request_cache_key(indist_request(6)), request_cache_key(rank_request('M', 6)));
+}
+
+// ---- artifact cache --------------------------------------------------------
+
+TEST(ArtifactCache, LruEvictsUnderByteBudget) {
+  // Budget fits exactly two entries of (100 + overhead) bytes.
+  ArtifactCache cache(2 * (100 + ArtifactCache::kEntryOverheadBytes));
+  cache.insert(1, std::string(100, 'a'));
+  cache.insert(2, std::string(100, 'b'));
+  ASSERT_TRUE(cache.lookup(1).has_value());  // 1 is now most-recent
+  cache.insert(3, std::string(100, 'c'));    // evicts 2, the LRU entry
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, stats.budget_bytes);
+}
+
+TEST(ArtifactCache, OversizedEntryIsNeverCached) {
+  ArtifactCache cache(64);
+  cache.insert(1, std::string(1000, 'x'));
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ArtifactCache, HitVerifiesDigestAndDropsCorruptEntries) {
+  ArtifactCache cache(1 << 20);
+  cache.insert(7, "pristine artifact bytes");
+  ASSERT_TRUE(cache.lookup(7).has_value());
+  ASSERT_TRUE(cache.corrupt_entry_for_test(7));
+  // The corrupt entry must not be served: it counts as a verify failure and
+  // a miss, and the entry is gone so the next insert rebuilds it.
+  EXPECT_FALSE(cache.lookup(7).has_value());
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.verify_failures, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  cache.insert(7, "pristine artifact bytes");
+  EXPECT_TRUE(cache.lookup(7).has_value());
+}
+
+TEST(ArtifactCache, BudgetResolutionPrecedence) {
+  EXPECT_EQ(resolve_cache_budget(12345), 12345u);
+  ASSERT_EQ(setenv("BCCLB_MEM_BUDGET", "2M", 1), 0);
+  EXPECT_EQ(resolve_cache_budget(0), 2u << 20);
+  ASSERT_EQ(unsetenv("BCCLB_MEM_BUDGET"), 0);
+  EXPECT_EQ(resolve_cache_budget(0), 64ULL << 20);
+}
+
+// ---- handlers --------------------------------------------------------------
+
+TEST(Handlers, ClassifyVerdictsAndValidation) {
+  const std::string one = classify_artifact(6, ring_word(6));
+  EXPECT_NE(one.find("ONE-CYCLE"), std::string::npos);
+  // Two triangles: 0->1->2->0 and 3->4->5->3 (successor nibbles, v0 lowest).
+  const std::uint64_t two = 0x354021;
+  const std::string two_art = classify_artifact(6, two);
+  EXPECT_NE(two_art.find("TWO-CYCLE"), std::string::npos);
+
+  // The identity word has six fixed points: cycles of length 1.
+  std::uint64_t identity = 0;
+  for (std::uint32_t v = 0; v < 6; ++v) identity |= static_cast<std::uint64_t>(v) << (4 * v);
+  EXPECT_THROW(classify_artifact(6, identity), ProtocolViolationError);
+  // Not a permutation: two vertices share a successor.
+  EXPECT_THROW(classify_artifact(6, 0x111111), ProtocolViolationError);
+  // Bits set beyond vertex n-1.
+  EXPECT_THROW(classify_artifact(6, ring_word(6) | (std::uint64_t{0xF} << 60)),
+               ProtocolViolationError);
+}
+
+TEST(Handlers, ArtifactsAreBitIdenticalAcrossThreadWidths) {
+  Request request = indist_request(7);
+  const std::string serial = compute_artifact(request, 1);
+  const std::string parallel = compute_artifact(request, 4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("star packing"), std::string::npos);
+  EXPECT_NE(serial.find("csr digest"), std::string::npos);
+}
+
+TEST(Handlers, RankAndInfoArtifactsCarryTheCertificates) {
+  const std::string rank_m = rank_artifact('M', 5);
+  EXPECT_NE(rank_m.find("full rank = yes"), std::string::npos);
+  const std::string rank_e = rank_artifact('E', 8);
+  EXPECT_NE(rank_e.find("rank E_8"), std::string::npos);
+  const std::string info = info_artifact(5, 1.0);
+  EXPECT_NE(info.find("Theorem 4.5"), std::string::npos);
+}
+
+// ---- errors ----------------------------------------------------------------
+
+TEST(ServeErrors, TaxonomyKindsAndTransience) {
+  const QueueFullError queue_full("q");
+  EXPECT_STREQ(queue_full.kind(), "QueueFullError");
+  EXPECT_TRUE(queue_full.transient());  // retry after backoff is sane
+  const RequestTooLargeError too_large("t");
+  EXPECT_STREQ(too_large.kind(), "RequestTooLargeError");
+  EXPECT_FALSE(too_large.transient());
+  const ProtocolViolationError proto("p");
+  EXPECT_STREQ(proto.kind(), "ProtocolViolationError");
+  const DrainingError draining("d");
+  EXPECT_STREQ(draining.kind(), "DrainingError");
+  const ServeError* as_base = &queue_full;
+  EXPECT_NE(dynamic_cast<const BcclbError*>(as_base), nullptr);
+}
+
+// ---- end-to-end server ----------------------------------------------------
+
+TEST(ServeServer, AnswersAndCachesWithByteIdenticalRepeats) {
+  RunningServer running({});
+  ServeClient client = running.connect();
+  const Request request = rank_request('M', 6);
+
+  const Response cold = client.request(request);
+  ASSERT_EQ(cold.status, StatusCode::kOk);
+  EXPECT_EQ(cold.source, CacheSource::kCold);
+  EXPECT_EQ(cold.digest, fnv1a(cold.artifact));
+  EXPECT_NE(cold.artifact.find("rank M_6"), std::string::npos);
+
+  const Response warm = client.request(request);
+  ASSERT_EQ(warm.status, StatusCode::kOk);
+  EXPECT_EQ(warm.source, CacheSource::kHit);
+  // Acceptance: a repeated digest-addressed response is byte-identical to
+  // the cold computation.
+  EXPECT_EQ(warm.artifact, cold.artifact);
+  EXPECT_EQ(warm.digest, cold.digest);
+
+  // A second connection sees the same bytes.
+  ServeClient other = running.connect();
+  const Response again = other.request(request);
+  EXPECT_EQ(again.artifact, cold.artifact);
+  EXPECT_EQ(again.source, CacheSource::kHit);
+
+  const ServeStats stats = running.stop();
+  EXPECT_EQ(stats.responses_ok, 3u);
+  EXPECT_EQ(stats.cache.hits, 2u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.connections_accepted, 2u);
+}
+
+TEST(ServeServer, StatsProbeAnswersInline) {
+  RunningServer running({});
+  ServeClient client = running.connect();
+  Request probe;
+  probe.type = RequestType::kStats;
+  const Response response = client.request(probe);
+  ASSERT_EQ(response.status, StatusCode::kOk);
+  EXPECT_NE(response.artifact.find("bccd stats"), std::string::npos);
+  EXPECT_NE(response.artifact.find("cache hits"), std::string::npos);
+  EXPECT_EQ(running.stop().stats_probes, 1u);
+}
+
+TEST(ServeServer, WarmCacheP50IsTenTimesFasterThanCold) {
+  using clock = std::chrono::steady_clock;
+  RunningServer running({});
+  ServeClient client = running.connect();
+  const Request request = indist_request(8);  // the E3 n=8 workload
+
+  const auto cold_start = clock::now();
+  const Response cold = client.request(request);
+  const double cold_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - cold_start).count();
+  ASSERT_EQ(cold.status, StatusCode::kOk);
+  ASSERT_EQ(cold.source, CacheSource::kCold);
+
+  std::vector<double> warm_ms;
+  for (int i = 0; i < 9; ++i) {
+    const auto t0 = clock::now();
+    const Response warm = client.request(request);
+    warm_ms.push_back(std::chrono::duration<double, std::milli>(clock::now() - t0).count());
+    ASSERT_EQ(warm.source, CacheSource::kHit);
+    ASSERT_EQ(warm.artifact, cold.artifact);
+  }
+  std::sort(warm_ms.begin(), warm_ms.end());
+  const double warm_p50 = warm_ms[warm_ms.size() / 2];
+  EXPECT_GT(cold_ms, 10.0 * warm_p50)
+      << "cold " << cold_ms << " ms vs warm p50 " << warm_p50 << " ms";
+}
+
+TEST(ServeServer, OverloadReturnsTypedQueueFullAndConnectionSurvives) {
+  SchedulerHold hold;
+  ServeConfig config;
+  config.queue_capacity = 2;
+  config.test_hold = hold.hook();
+  RunningServer running(std::move(config));
+  ServeClient client = running.connect();
+
+  // r1 wakes the scheduler, which parks in the hold *before* draining the
+  // queue; r2 tops the queue off at capacity; r3 must bounce.
+  client.send_frame(rank_request('M', 4));
+  hold.wait_until_held();
+  client.send_frame(rank_request('M', 5));
+  client.send_frame(rank_request('M', 6));
+
+  const Response bounced = client.read_response();
+  EXPECT_EQ(bounced.status, StatusCode::kQueueFull);
+  EXPECT_NE(bounced.artifact.find("admission queue full"), std::string::npos);
+
+  hold.release();
+  const Response first = client.read_response();
+  const Response second = client.read_response();
+  EXPECT_EQ(first.status, StatusCode::kOk);
+  EXPECT_EQ(second.status, StatusCode::kOk);
+  EXPECT_NE(first.artifact.find("rank M_4"), std::string::npos);
+  EXPECT_NE(second.artifact.find("rank M_5"), std::string::npos);
+
+  // The connection that got bounced keeps working.
+  const Response retry = client.request(rank_request('M', 6));
+  EXPECT_EQ(retry.status, StatusCode::kOk);
+
+  const ServeStats stats = running.stop();
+  EXPECT_EQ(stats.queue_full, 1u);
+  EXPECT_EQ(stats.responses_ok, 3u);
+}
+
+TEST(ServeServer, DrainFinishesInFlightAndRejectsNewRequests) {
+  SchedulerHold hold;
+  ServeConfig config;
+  config.test_hold = hold.hook();
+  RunningServer running(std::move(config));
+  ServeClient client = running.connect();
+
+  client.send_frame(rank_request('M', 5));
+  hold.wait_until_held();
+  running.server().begin_drain();
+  client.send_frame(rank_request('M', 6));  // arrives while draining
+
+  const Response rejected = client.read_response();
+  EXPECT_EQ(rejected.status, StatusCode::kDraining);
+
+  hold.release();
+  // The admitted request still completes — drain finishes in-flight work.
+  const Response served = client.read_response();
+  EXPECT_EQ(served.status, StatusCode::kOk);
+  EXPECT_NE(served.artifact.find("rank M_5"), std::string::npos);
+
+  const ServeStats stats = running.stop();
+  EXPECT_EQ(stats.draining_rejected, 1u);
+  EXPECT_EQ(stats.responses_ok, 1u);
+}
+
+TEST(ServeServer, ConcurrentIdenticalRequestsCoalesceIntoOneBuild) {
+  SchedulerHold hold;
+  ServeConfig config;
+  config.test_hold = hold.hook();
+  RunningServer running(std::move(config));
+  ServeClient client = running.connect();
+
+  const Request request = indist_request(7);
+  client.send_frame(request);
+  hold.wait_until_held();
+  for (int i = 0; i < 4; ++i) client.send_frame(request);
+  hold.release();
+
+  std::vector<Response> responses;
+  for (int i = 0; i < 5; ++i) responses.push_back(client.read_response());
+  std::size_t cold = 0, coalesced = 0;
+  for (const Response& response : responses) {
+    ASSERT_EQ(response.status, StatusCode::kOk);
+    EXPECT_EQ(response.artifact, responses[0].artifact);
+    if (response.source == CacheSource::kCold) ++cold;
+    if (response.source == CacheSource::kCoalesced) ++coalesced;
+  }
+  EXPECT_EQ(cold, 1u);
+  EXPECT_EQ(coalesced, 4u);
+  const ServeStats stats = running.stop();
+  EXPECT_EQ(stats.coalesced, 4u);
+  EXPECT_EQ(stats.cache.entries, 1u);
+}
+
+TEST(ServeServer, OversizedFrameIsSkippedWithoutDroppingTheConnection) {
+  RunningServer running({});
+  ServeClient client = running.connect();
+
+  // A framing-valid request whose payload exceeds max_request_bytes (64).
+  std::string oversized;
+  oversized.append(kWireMagic, sizeof kWireMagic);
+  oversized.push_back(static_cast<char>(kWireVersion));
+  oversized.push_back(static_cast<char>(RequestType::kClassify));
+  oversized.append(2, '\0');  // status
+  const std::uint32_t len = 500;
+  for (int i = 0; i < 4; ++i) oversized.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  oversized.append(len, '\x7f');
+  client.send_raw(oversized);
+
+  const Response bounced = client.read_response();
+  EXPECT_EQ(bounced.status, StatusCode::kRequestTooLarge);
+
+  // Framing survived the skip: the next well-formed request is served.
+  const Response ok = client.request(rank_request('M', 5));
+  EXPECT_EQ(ok.status, StatusCode::kOk);
+  EXPECT_EQ(running.stop().too_large, 1u);
+}
+
+TEST(ServeServer, BadMagicGetsOneErrorFrameThenClose) {
+  RunningServer running({});
+  ServeClient client = running.connect();
+  client.send_raw("GARBAGE BYTES THAT ARE NOT A FRAME");
+  const Response error = client.read_response();
+  EXPECT_EQ(error.status, StatusCode::kProtocolViolation);
+  // The stream is unrecoverable, so the server closes after the flush.
+  EXPECT_THROW(client.read_response(), ServeError);
+  EXPECT_EQ(running.stop().protocol_violations, 1u);
+}
+
+TEST(ServeServer, SemanticComputeFailureIsTypedAndNonFatal) {
+  RunningServer running({});
+  ServeClient client = running.connect();
+  // Passes wire validation (n in range) but the word has 2-cycles.
+  const std::uint64_t two_cycles_of_two = 0x2301;  // 0<->1, 2<->3
+  const Response failed = client.request(classify_request(4, two_cycles_of_two));
+  EXPECT_EQ(failed.status, StatusCode::kProtocolViolation);
+  EXPECT_NE(failed.artifact.find("length"), std::string::npos);
+
+  const Response ok = client.request(classify_request(4, ring_word(4)));
+  EXPECT_EQ(ok.status, StatusCode::kOk);
+  const ServeStats stats = running.stop();
+  EXPECT_EQ(stats.compute_failed, 1u);
+  EXPECT_EQ(stats.responses_ok, 1u);
+}
+
+TEST(ServeServer, UnixSocketReclaimsStaleFilesAndRefusesLiveOnes) {
+  const std::string path =
+      "/tmp/bcclb_serve_test_" + std::to_string(::getpid()) + ".sock";
+  // A stale leftover (regular file here; nobody accepts on it) is reclaimed.
+  { std::FILE* f = std::fopen(path.c_str(), "w"); ASSERT_NE(f, nullptr); std::fclose(f); }
+  ServeConfig config;
+  config.unix_path = path;
+  RunningServer running(std::move(config));
+  ServeClient client = ServeClient::connect_unix(path);
+  EXPECT_EQ(client.request(rank_request('M', 4)).status, StatusCode::kOk);
+
+  // A second daemon on the same live socket must refuse to start.
+  ServeConfig second;
+  second.unix_path = path;
+  ServeServer other(std::move(second));
+  EXPECT_THROW(other.bind(), ServeError);
+
+  running.stop();
+  // Drain removed the socket file.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+// ---- loadgen ---------------------------------------------------------------
+
+TEST(Loadgen, RequestPoolIsSeedDeterministicAndDistinct) {
+  LoadgenConfig config;
+  config.seed = 11;
+  const std::vector<Request> a = loadgen_request_pool(config);
+  const std::vector<Request> b = loadgen_request_pool(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << i;
+
+  std::vector<std::uint64_t> keys;
+  for (const Request& request : a) keys.push_back(request_cache_key(request));
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end()) << "duplicate keys";
+
+  config.seed = 12;
+  const std::vector<Request> c = loadgen_request_pool(config);
+  EXPECT_NE(a, c);
+}
+
+TEST(Loadgen, EndToEndRunIsCleanAndReportsGateableJson) {
+  RunningServer running({});
+  LoadgenConfig config;
+  config.tcp_port = running.server().tcp_port();
+  config.requests = 200;
+  config.concurrency = 4;
+  config.seed = 3;
+  config.max_n = 7;  // keep the cold builds quick
+  config.stats_every = 50;
+
+  const LoadgenReport report = run_loadgen(config);
+  EXPECT_EQ(report.requests_sent, 200u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.digest_mismatches, 0u);
+  EXPECT_EQ(report.byte_mismatches, 0u);
+  EXPECT_GT(report.cache_hits, 0u);
+  EXPECT_GT(report.throughput_rps, 0.0);
+  EXPECT_GT(report.p50_ms, 0.0);
+
+  const std::string json = loadgen_report_json(config, report);
+  for (const char* needle :
+       {"\"serve/latency_p50\"", "\"serve/latency_p95\"", "\"serve/latency_p99\"",
+        "\"serve/cold_p50\"", "\"serve/warm_p50\"", "\"cpu_time\"", "\"time_unit\": \"ms\"",
+        "\"cache_hits\"", "\"throughput_rps\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace bcclb

@@ -14,9 +14,13 @@
 //   campaign <dir> [seed]      checkpointed standard campaign into <dir>
 //   campaign --resume <dir>    re-run only the unfinished jobs
 //   campaign --verify [golden] re-run in memory, diff digests vs golden.json
+//   serve …                    long-lived daemon on a Unix or TCP socket
+//   loadgen …                  seeded load generator against a running daemon
+//   version                    git describe baked in at configure time
 //
 // Argument parsing is strict: every numeric argument must be a whole,
-// in-range number or the command refuses with usage (exit 2). Errors out
+// in-range number or the command refuses with usage (exit 2); unknown
+// subcommands and unknown flags do the same. Errors out
 // of the library surface as typed BcclbError with kind + context; anything
 // else is a plain std::exception. No helper calls std::exit — all exits
 // flow through main.
@@ -358,6 +362,162 @@ int cmd_campaign_verify(const char* golden_path) {
   return 0;
 }
 
+int usage();
+
+// bccd: the serving daemon (DESIGN.md §6). SIGINT/SIGTERM trigger the drain
+// sequence — finish in-flight work, flush stats, exit 0 — via the same
+// sig_atomic_t flag the campaign runner polls.
+int cmd_serve(int argc, char** argv) {
+  ServeConfig config;
+  bool have_endpoint = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--socket" && value != nullptr && *value != '\0') {
+      config.unix_path = value;
+      have_endpoint = true;
+    } else if (flag == "--port" && value != nullptr) {
+      const auto port = parse_unsigned(value);
+      if (!port || *port > 65535) return usage();
+      config.tcp_port = static_cast<std::uint16_t>(*port);
+      have_endpoint = true;
+    } else if (flag == "--threads" && value != nullptr) {
+      const auto threads = parse_unsigned(value);
+      if (!threads) return usage();
+      config.threads = *threads;
+    } else if (flag == "--queue" && value != nullptr) {
+      const auto capacity = parse_size(value);
+      if (!capacity || *capacity == 0) return usage();
+      config.queue_capacity = *capacity;
+    } else if (flag == "--cache-budget" && value != nullptr) {
+      const auto budget = parse_mem_bytes(value);
+      if (!budget) return usage();
+      config.cache_budget_bytes = *budget;
+    } else if (flag == "--max-connections" && value != nullptr) {
+      const auto cap = parse_size(value);
+      if (!cap || *cap == 0) return usage();
+      config.max_connections = *cap;
+    } else {
+      return usage();
+    }
+    ++i;  // every flag consumed a value
+  }
+  if (!have_endpoint) return usage();
+
+  std::signal(SIGINT, on_campaign_signal);
+  std::signal(SIGTERM, on_campaign_signal);
+  config.drain_flag = &g_interrupted;
+
+  ServeServer server(std::move(config));
+  server.bind();
+  // Announce-and-flush so wrapper scripts can wait for readiness by reading
+  // one line.
+  std::printf("bccd listening on %s\n", server.endpoint().c_str());
+  std::fflush(stdout);
+
+  const ServeStats stats = server.run();
+  std::printf("bccd drained: %llu admitted, %llu ok, %llu failed\n",
+              static_cast<unsigned long long>(stats.requests_admitted),
+              static_cast<unsigned long long>(stats.responses_ok),
+              static_cast<unsigned long long>(stats.compute_failed));
+  std::printf("  rejected: queue-full %llu, too-large %llu, protocol %llu, draining %llu\n",
+              static_cast<unsigned long long>(stats.queue_full),
+              static_cast<unsigned long long>(stats.too_large),
+              static_cast<unsigned long long>(stats.protocol_violations),
+              static_cast<unsigned long long>(stats.draining_rejected));
+  std::printf("  cache: %llu hits, %llu misses, %llu evictions, %llu verify-failures; "
+              "coalesced %llu\n",
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.misses),
+              static_cast<unsigned long long>(stats.cache.evictions),
+              static_cast<unsigned long long>(stats.cache.verify_failures),
+              static_cast<unsigned long long>(stats.coalesced));
+  return 0;
+}
+
+int cmd_loadgen(int argc, char** argv) {
+  LoadgenConfig config;
+  bool have_endpoint = false;
+  const char* json_path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--socket" && value != nullptr && *value != '\0') {
+      config.unix_path = value;
+      have_endpoint = true;
+    } else if (flag == "--port" && value != nullptr) {
+      const auto port = parse_unsigned(value);
+      if (!port || *port == 0 || *port > 65535) return usage();
+      config.tcp_port = static_cast<std::uint16_t>(*port);
+      have_endpoint = true;
+    } else if (flag == "--requests" && value != nullptr) {
+      const auto requests = parse_size(value);
+      if (!requests || *requests == 0) return usage();
+      config.requests = *requests;
+    } else if (flag == "--concurrency" && value != nullptr) {
+      const auto concurrency = parse_unsigned(value);
+      if (!concurrency || *concurrency == 0) return usage();
+      config.concurrency = *concurrency;
+    } else if (flag == "--seed" && value != nullptr) {
+      const auto seed = parse_u64(value);
+      if (!seed) return usage();
+      config.seed = *seed;
+    } else if (flag == "--pool" && value != nullptr) {
+      const auto pool = parse_size(value);
+      if (!pool || *pool == 0) return usage();
+      config.pool_size = *pool;
+    } else if (flag == "--max-n" && value != nullptr) {
+      const auto max_n = parse_unsigned(value);
+      if (!max_n || *max_n < 4) return usage();
+      config.max_n = *max_n;
+    } else if (flag == "--stats-every" && value != nullptr) {
+      const auto every = parse_size(value);
+      if (!every) return usage();
+      config.stats_every = *every;
+    } else if (flag == "--json" && value != nullptr && *value != '\0') {
+      json_path = value;
+    } else {
+      return usage();
+    }
+    ++i;
+  }
+  if (!have_endpoint) return usage();
+
+  const LoadgenReport report = run_loadgen(config);
+  const std::string json = loadgen_report_json(config, report);
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "loadgen: cannot write '%s': %s\n", json_path, std::strerror(errno));
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  } else {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+  }
+
+  std::fprintf(stderr, "loadgen: %zu requests in %.3f s (%.1f rps)\n", report.requests_sent,
+               report.wall_seconds, report.throughput_rps);
+  std::fprintf(stderr, "  ok %zu, errors %zu, probes %zu | cold %zu, hits %zu, coalesced %zu\n",
+               report.ok, report.errors, report.stats_probes, report.cold, report.cache_hits,
+               report.coalesced);
+  std::fprintf(stderr, "  p50 %.3f ms, p95 %.3f ms, p99 %.3f ms (cold p50 %.3f, warm p50 %.3f)\n",
+               report.p50_ms, report.p95_ms, report.p99_ms, report.cold_p50_ms,
+               report.warm_p50_ms);
+  for (const auto& [name, count] : report.error_counts) {
+    std::fprintf(stderr, "  error %s: %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(count));
+  }
+  if (report.digest_mismatches != 0 || report.byte_mismatches != 0) {
+    // Typed rejections under load are expected; wrong bytes never are.
+    std::fprintf(stderr, "loadgen: INTEGRITY FAILURE — %zu digest, %zu byte mismatches\n",
+                 report.digest_mismatches, report.byte_mismatches);
+    return 1;
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: bcclb <command> [args]\n"
@@ -374,14 +534,30 @@ int usage() {
                "  campaign <dir> [seed=2019]\n"
                "  campaign --resume <dir> [seed=2019]\n"
                "  campaign --verify [golden=results/golden.json]\n"
+               "  serve   (--socket <path> | --port <p>) [--threads N] [--queue N]\n"
+               "          [--cache-budget <bytes>] [--max-connections N]\n"
+               "  loadgen (--socket <path> | --port <p>) [--requests N] [--concurrency N]\n"
+               "          [--seed S] [--pool N] [--max-n N] [--stats-every N] [--json <path>]\n"
+               "  version\n"
                "adversaries: silent id-bits hashed-id coin-xor-id port-parity echo state-hash\n"
                "numeric arguments must be whole in-range numbers\n"
-               "campaign honours BCCLB_THREADS and BCCLB_MEM_BUDGET (bytes, K/M/G suffix)\n");
+               "campaign honours BCCLB_THREADS and BCCLB_MEM_BUDGET (bytes, K/M/G suffix);\n"
+               "serve honours BCCLB_MEM_BUDGET for the artifact cache\n");
   return 2;
 }
 
+#ifndef BCCLB_GIT_DESCRIBE
+#define BCCLB_GIT_DESCRIBE "unknown"
+#endif
+
 int dispatch(int argc, char** argv) {
   const std::string cmd = argv[1];
+  if (cmd == "version" || cmd == "--version") {
+    std::printf("bcclb %s\n", BCCLB_GIT_DESCRIBE);
+    return 0;
+  }
+  if (cmd == "serve") return cmd_serve(argc, argv);
+  if (cmd == "loadgen") return cmd_loadgen(argc, argv);
   if (cmd == "counts" && argc >= 3) {
     const auto n = parse_size(argv[2]);
     if (!n) return usage();
