@@ -3,6 +3,9 @@
 // graph construction, matrix rank, simulator rounds, sketch updates.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <bit>
+
 #include "bcc_lb.h"
 #include "linalg/gf2_matrix.h"
 #include "partition/join_matrix.h"
@@ -330,6 +333,83 @@ void BM_RandomizedPlsVerify(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RandomizedPlsVerify)->Unit(benchmark::kMicrosecond);
+
+// Implicit-instance layer: the O(1) neighborhood/wiring queries every SoA
+// round is built from, the cache-blocked reduction that closes each round,
+// and the end-to-end implicit flood at 10^5 vertices.
+void BM_ImplicitNeighborQuery(benchmark::State& state) {
+  ImplicitSpec spec;
+  spec.n = static_cast<std::uint64_t>(state.range(0));
+  spec.family = ImplicitFamily::kTwoCycle;
+  spec.seed = 2019;
+  const ImplicitInstance inst(spec);
+  std::vector<VertexId> nbrs;
+  VertexId v = 0;
+  for (auto _ : state) {
+    inst.neighbors(v, nbrs);
+    benchmark::DoNotOptimize(nbrs.data());
+    v = (v + 7919) % static_cast<VertexId>(spec.n);  // stride through the graph
+  }
+}
+BENCHMARK(BM_ImplicitNeighborQuery)->Arg(1 << 10)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_ImplicitPeerQuery(benchmark::State& state) {
+  ImplicitSpec spec;
+  spec.n = static_cast<std::uint64_t>(state.range(0));
+  const ImplicitInstance inst(spec);
+  VertexId v = 1;
+  Port p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.peer(v, p));
+    p = (p + 1) % static_cast<Port>(spec.n - 1);
+    v = (v + 13) % static_cast<VertexId>(spec.n);
+  }
+}
+BENCHMARK(BM_ImplicitPeerQuery)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_BitsetMinMaxReduce(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  std::vector<std::uint64_t> values(1 << 20);
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (auto& v : values) {
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    v = x;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_max_values(values, threads));
+  }
+}
+// Worker threads burn CPU outside the main thread, so the default cpu_time
+// (main thread only) would under-report the threaded rows ~40x; measure
+// process-wide CPU and report wall time instead.
+BENCHMARK(BM_BitsetMinMaxReduce)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ImplicitFloodScale(benchmark::State& state) {
+  ImplicitSpec spec;
+  spec.n = static_cast<std::uint64_t>(state.range(0));
+  spec.family = ImplicitFamily::kTwoCycle;
+  spec.seed = 2019;
+  const InstanceView view(spec);
+  const unsigned bandwidth =
+      std::max(1u, static_cast<unsigned>(std::bit_width(spec.n - 1)));
+  for (auto _ : state) {
+    SoaMinIdFlood program;
+    SoaRoundEngine engine;
+    const SoaRunResult result = engine.run(view, bandwidth, program,
+                                           SoaMinIdFlood::rounds_needed(spec.n));
+    benchmark::DoNotOptimize(result.labels_digest);
+  }
+  state.counters["rounds/s"] = benchmark::Counter(
+      static_cast<double>(spec.n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ImplicitFloodScale)->Arg(100000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bcclb

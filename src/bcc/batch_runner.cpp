@@ -101,6 +101,66 @@ void BatchRunner::for_each_with_engine(
   }
 }
 
+void BatchRunner::for_each_with_soa_engine(
+    std::size_t count, const std::function<void(std::size_t, SoaRoundEngine&)>& body) const {
+  if (count == 0) return;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, count));
+
+  if (workers <= 1) {
+    SoaRoundEngine engine;
+    for (std::size_t i = 0; i < count; ++i) body(i, engine);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(count);
+  std::atomic<bool> failed{false};
+
+  auto worker = [&] {
+    SoaRoundEngine engine;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i, engine);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  if (failed.load(std::memory_order_relaxed)) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (errors[i]) std::rethrow_exception(errors[i]);
+    }
+  }
+}
+
+std::vector<SoaRunResult> BatchRunner::run_implicit(const std::vector<SoaBatchJob>& jobs) const {
+  std::vector<SoaRunResult> results(jobs.size());
+  for_each_with_soa_engine(jobs.size(), [&](std::size_t i, SoaRoundEngine& engine) {
+    const SoaBatchJob& job = jobs[i];
+    const InstanceView view(job.spec);
+    auto program = job.factory();
+    BCCLB_CHECK(program != nullptr, "factory returned null program");
+    SoaRunOptions options;
+    if (!job.faults.empty()) options.faults = &job.faults;
+    options.deadline_ns = job.deadline_ns;
+    options.require_all_finished = job.require_all_finished;
+    options.digest_transcript = job.digest_transcript;
+    options.threads = job.soa_threads;
+    results[i] = engine.run(view, job.bandwidth, *program, job.max_rounds, options);
+  });
+  return results;
+}
+
 void BatchRunner::for_each(std::size_t count,
                            const std::function<void(std::size_t)>& body) const {
   for_each_with_engine(count, [&body](std::size_t i, RoundEngine&) { body(i); });

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bcc/round_engine.h"
+#include "bcc/soa_engine.h"
 
 namespace bcclb {
 
@@ -58,6 +59,20 @@ struct BatchJob {
   FaultPlan faults{};               // empty = fault-free
   std::uint64_t deadline_ns = 0;    // per-job watchdog; 0 = policy default
   bool require_all_finished = false;
+};
+
+// One independent SoA run over an implicitly defined instance. The spec is
+// a few words, so a million-node sweep costs O(jobs) memory to describe.
+struct SoaBatchJob {
+  ImplicitSpec spec;
+  SoaProgramFactory factory;
+  unsigned bandwidth = 1;
+  unsigned max_rounds = 0;
+  FaultPlan faults{};             // empty = fault-free (frontier paths allowed)
+  std::uint64_t deadline_ns = 0;  // per-job watchdog; 0 = off
+  bool require_all_finished = false;
+  bool digest_transcript = false;
+  unsigned soa_threads = 1;  // reduction width inside one run
 };
 
 enum class JobStatus : std::uint8_t {
@@ -149,6 +164,18 @@ class BatchRunner {
   void for_each_with_engine(
       std::size_t count,
       const std::function<void(std::size_t, RoundEngine&)>& body) const;
+
+  // The SoA twin: each worker owns one reusable SoaRoundEngine, for sweeps
+  // over implicit (or otherwise whole-graph) instances. Same determinism
+  // contract as for_each_with_engine.
+  void for_each_with_soa_engine(
+      std::size_t count,
+      const std::function<void(std::size_t, SoaRoundEngine&)>& body) const;
+
+  // Runs every implicit job on a worker-private SoaRoundEngine; results[i]
+  // is job i's result in submission order. Rethrows the lowest-indexed
+  // failure, like run().
+  std::vector<SoaRunResult> run_implicit(const std::vector<SoaBatchJob>& jobs) const;
 
   // Coalesced fan-out: runs `body(i)` once per distinct key — for the first
   // index holding that key — in parallel, and returns the plan so the caller

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/bitset_reduce.h"
 #include "common/check.h"
 #include "common/errors.h"
 
@@ -26,17 +27,25 @@ struct RunGuard {
 
 void RoundEngine::reserve(std::size_t n, unsigned expected_rounds) {
   if (n == 0) return;
-  outbox_.reserve(n);
+  const std::size_t words = (n + 63) / 64;
+  out_values_.reserve(n);
+  out_widths_.reserve(n);
+  out_silent_.reserve(words);
+  done_words_.reserve(words);
   inbox_.reserve(n - 1);
   peer_flat_.reserve(n * (n - 1));
-  sent_staging_.reserve(static_cast<std::size_t>(expected_rounds) * n);
+  staged_values_.reserve(static_cast<std::size_t>(expected_rounds) * n);
+  staged_widths_.reserve(static_cast<std::size_t>(expected_rounds) * n);
+  staged_silent_.reserve(static_cast<std::size_t>(expected_rounds) * words);
   vertices_.reserve(n);
 }
 
 std::size_t RoundEngine::buffer_bytes() const {
-  return outbox_.capacity() * sizeof(Message) + inbox_.capacity() * sizeof(Message) +
-         peer_flat_.capacity() * sizeof(std::uint32_t) +
-         sent_staging_.capacity() * sizeof(Message) +
+  return out_values_.capacity() * sizeof(std::uint64_t) + out_widths_.capacity() +
+         (out_silent_.capacity() + done_words_.capacity()) * sizeof(std::uint64_t) +
+         inbox_.capacity() * sizeof(Message) + peer_flat_.capacity() * sizeof(std::uint32_t) +
+         staged_values_.capacity() * sizeof(std::uint64_t) + staged_widths_.capacity() +
+         staged_silent_.capacity() * sizeof(std::uint64_t) +
          vertices_.capacity() * sizeof(std::unique_ptr<VertexAlgorithm>);
 }
 
@@ -63,6 +72,7 @@ RunResult RoundEngine::run(const BccInstance& instance, unsigned bandwidth,
   RunGuard guard{&running_, &vertices_};
 
   const std::size_t ports = n - 1;
+  const std::size_t words = (n + 63) / 64;
 
   // The fault hook. The digest is computed only when faults are in play (it
   // walks the instance once); fault-free runs take none of these branches.
@@ -112,9 +122,17 @@ RunResult RoundEngine::run(const BccInstance& instance, unsigned bandwidth,
   RunResult result;
   result.kt1_view = kt1;
 
-  outbox_.assign(n, Message::silent());
+  // SoA round state: the outbox is a value column, a width column (0 =
+  // silent) and a packed silence bitset; staging appends the same three
+  // columns per executed round.
+  out_values_.assign(n, 0);
+  out_widths_.assign(n, 0);
+  out_silent_.assign(words, ~0ULL);
   inbox_.assign(ports, Message::silent());
-  sent_staging_.clear();
+  staged_values_.clear();
+  staged_widths_.clear();
+  staged_silent_.clear();
+  done_words_.assign(words, 0);
 
   // A crash-stopped vertex counts as finished: it will never broadcast
   // again, so waiting on it would only burn rounds to the cap.
@@ -124,11 +142,13 @@ RunResult RoundEngine::run(const BccInstance& instance, unsigned bandwidth,
 
   unsigned t = 0;
   for (; t < max_rounds; ++t) {
-    bool everyone_done = true;
-    for (VertexId v = 0; v < n && everyone_done; ++v) {
-      everyone_done = vertex_done(v, t);
+    // Aggregate per-vertex completion into a packed bitset and fold it with
+    // the cache-blocked AND reduction.
+    std::fill(done_words_.begin(), done_words_.end(), 0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (vertex_done(v, t)) done_words_[v / 64] |= 1ULL << (v % 64);
     }
-    if (everyone_done) break;
+    if (all_bits_set(done_words_, n)) break;
 
     if (options.deadline_ns != 0) {
       const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -139,32 +159,43 @@ RunResult RoundEngine::run(const BccInstance& instance, unsigned bandwidth,
       }
     }
 
-    // Collect this round's broadcasts into the shared outbox and stage the
-    // transcript row; the transcript object itself is built once at the end,
-    // sized to the rounds actually executed.
-    if (sent_staging_.size() + n > sent_staging_.capacity()) {
-      sent_staging_.reserve(std::max(sent_staging_.size() + n, sent_staging_.capacity() * 2));
-    }
+    // Collect this round's broadcasts into the shared SoA outbox.
     for (VertexId v = 0; v < n; ++v) {
-      outbox_[v] = vertices_[v]->broadcast(t);
+      Message m = vertices_[v]->broadcast(t);
       // Faults rewrite the wire, not the algorithm: the transcript records
       // what was actually broadcast, so faulty runs replay bit-identically.
-      if (injector) outbox_[v] = injector->apply(t, v, outbox_[v]);
-      if (outbox_[v].num_bits() > bandwidth) {
+      if (injector) m = injector->apply(t, v, m);
+      if (m.num_bits() > bandwidth) {
         throw BandwidthViolationError(
             "broadcast exceeds the bandwidth budget",
             {instance.digest(), static_cast<std::int64_t>(v), static_cast<std::int64_t>(t)});
       }
-      result.total_bits_broadcast += outbox_[v].num_bits();
+      if (m.is_silent()) {
+        out_widths_[v] = 0;
+        out_silent_[v / 64] |= 1ULL << (v % 64);
+      } else {
+        out_values_[v] = m.value();
+        out_widths_[v] = static_cast<std::uint8_t>(m.num_bits());
+        out_silent_[v / 64] &= ~(1ULL << (v % 64));
+      }
+      result.total_bits_broadcast += m.num_bits();
     }
-    sent_staging_.insert(sent_staging_.end(), outbox_.begin(), outbox_.end());
+    // Stage the transcript row: one append per column.
+    staged_values_.insert(staged_values_.end(), out_values_.begin(), out_values_.end());
+    staged_widths_.insert(staged_widths_.end(), out_widths_.begin(), out_widths_.end());
+    staged_silent_.insert(staged_silent_.end(), out_silent_.begin(), out_silent_.end());
 
     // Deliver: inbox[p] at v = broadcast of the peer behind port p — a
-    // gather by index from the shared outbox.
+    // gather by index from the shared outbox columns.
     const std::uint32_t* peers = peer_flat_.data();
     for (VertexId v = 0; v < n; ++v) {
       const std::uint32_t* row = peers + static_cast<std::size_t>(v) * ports;
-      for (std::size_t p = 0; p < ports; ++p) inbox_[p] = outbox_[row[p]];
+      for (std::size_t p = 0; p < ports; ++p) {
+        const std::uint32_t u = row[p];
+        inbox_[p] = (out_silent_[u / 64] >> (u % 64)) & 1
+                        ? Message::silent()
+                        : Message::bits(out_values_[u], out_widths_[u]);
+      }
       vertices_[v]->receive(t, std::span<const Message>(inbox_.data(), ports));
     }
   }
@@ -172,8 +203,14 @@ RunResult RoundEngine::run(const BccInstance& instance, unsigned bandwidth,
   result.rounds_executed = t;
   result.transcript = Transcript(n, t);
   for (unsigned r = 0; r < t; ++r) {
+    const std::size_t value_row = static_cast<std::size_t>(r) * n;
+    const std::size_t word_row = static_cast<std::size_t>(r) * words;
     for (VertexId v = 0; v < n; ++v) {
-      result.transcript.record(v, r, sent_staging_[static_cast<std::size_t>(r) * n + v]);
+      const bool silent = (staged_silent_[word_row + v / 64] >> (v % 64)) & 1;
+      result.transcript.record(v, r,
+                               silent ? Message::silent()
+                                      : Message::bits(staged_values_[value_row + v],
+                                                      staged_widths_[value_row + v]));
     }
   }
   result.all_finished = true;

@@ -169,11 +169,22 @@ class RoundEngine {
   bool running() const { return running_; }
 
  private:
-  // Reused across runs; cleared, never shrunk.
-  std::vector<Message> outbox_;                 // n entries, current round
+  // Reused across runs; cleared, never shrunk. Round state is
+  // struct-of-arrays: the live outbox and the growing transcript staging are
+  // flat value/width columns plus packed silence bitsets (9.125 B per
+  // message instead of sizeof(Message) = 24), and the per-round "is every
+  // vertex finished?" aggregation is a packed bitset folded by the
+  // cache-blocked reductions in common/bitset_reduce.h. Only the inbox stays
+  // an array of Messages — it is the span the VertexAlgorithm API receives.
   std::vector<Message> inbox_;                  // n - 1 entries, gather target
   std::vector<std::uint32_t> peer_flat_;        // wiring, [v * (n-1) + p] = peer
-  std::vector<Message> sent_staging_;           // [t * n + v], grows per round
+  std::vector<std::uint64_t> out_values_;       // n, current round
+  std::vector<std::uint8_t> out_widths_;        // n; 0 = silent
+  std::vector<std::uint64_t> out_silent_;       // packed, bit v = silent
+  std::vector<std::uint64_t> staged_values_;    // [t * n + v], grows per round
+  std::vector<std::uint8_t> staged_widths_;
+  std::vector<std::uint64_t> staged_silent_;    // per round: ceil(n/64) words
+  std::vector<std::uint64_t> done_words_;       // packed, bit v = finished/crashed
   std::vector<std::unique_ptr<VertexAlgorithm>> vertices_;
   std::vector<PublicCoins> private_streams_;
 

@@ -72,6 +72,44 @@ std::uint64_t Transcript::digest() const {
   return h;
 }
 
+namespace {
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t x) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (x >> (byte * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void RoundMajorDigest::mix_message(bool silent, unsigned num_bits, std::uint64_t value) {
+  // Same per-message convention as Transcript::digest(), so the two forms
+  // differ only in walk order and header placement.
+  body_ = fnv_mix(body_, silent ? 0x5117ULL : 1ULL);
+  body_ = fnv_mix(body_, num_bits);
+  body_ = fnv_mix(body_, silent ? 0 : value);
+}
+
+std::uint64_t RoundMajorDigest::finalize(std::size_t n, unsigned rounds) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv_mix(h, n);
+  h = fnv_mix(h, rounds);
+  return fnv_mix(h, body_);
+}
+
+std::uint64_t Transcript::round_major_digest() const {
+  RoundMajorDigest digest;
+  for (unsigned t = 0; t < rounds_; ++t) {
+    for (const auto& msgs : sent_) {
+      const Message& m = msgs[t];
+      digest.mix_message(m.is_silent(), m.num_bits(), m.is_silent() ? 0 : m.value());
+    }
+  }
+  return digest.finalize(sent_.size(), rounds_);
+}
+
 std::string vertex_state_signature(const BccInstance& instance, const Transcript& transcript,
                                    VertexId v) {
   BCCLB_REQUIRE(v < instance.num_vertices(), "vertex out of range");

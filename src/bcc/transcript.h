@@ -50,9 +50,30 @@ class Transcript {
   // (core/fault_tolerance) and the batch determinism tests.
   std::uint64_t digest() const;
 
+  // The canonical round-major fingerprint (see RoundMajorDigest below):
+  // walks the stored messages round by round through the same mixer the SoA
+  // engine streams, so an explicit run and an implicit run of the same
+  // protocol agree on this digest bit-for-bit. Distinct from digest(),
+  // whose vertex-major walk cannot be computed one round at a time.
+  std::uint64_t round_major_digest() const;
+
  private:
   std::vector<std::vector<Message>> sent_;  // sent_[v][t]
   unsigned rounds_;
+};
+
+// Incremental FNV-1a over broadcasts in round-major order: round 0's n
+// messages in vertex order, then round 1's, and so on. The streaming form of
+// a transcript fingerprint — the SoA engine mixes each round as it executes
+// and never stores the transcript. finalize() chains (n, rounds) onto the
+// body hash, so the round count does not need to be known up front.
+class RoundMajorDigest {
+ public:
+  void mix_message(bool silent, unsigned num_bits, std::uint64_t value);
+  std::uint64_t finalize(std::size_t n, unsigned rounds) const;
+
+ private:
+  std::uint64_t body_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
 };
 
 // A serialized full vertex state after a run: initial knowledge, everything

@@ -21,9 +21,11 @@
 #include "bcc/checkpoint.h"                      // IWYU pragma: export
 #include "bcc/faults.h"                          // IWYU pragma: export
 #include "bcc/instance.h"                        // IWYU pragma: export
+#include "bcc/instance_view.h"                   // IWYU pragma: export
 #include "bcc/range_model.h"                     // IWYU pragma: export
 #include "bcc/round_engine.h"                    // IWYU pragma: export
 #include "bcc/simulator.h"                       // IWYU pragma: export
+#include "bcc/soa_engine.h"                      // IWYU pragma: export
 #include "bcc/transcript.h"                      // IWYU pragma: export
 #include "comm/components_protocol.h"            // IWYU pragma: export
 #include "comm/lower_bounds.h"                   // IWYU pragma: export
@@ -33,7 +35,10 @@
 #include "congest/bfs.h"                         // IWYU pragma: export
 #include "congest/model.h"                       // IWYU pragma: export
 #include "congest/triangle.h"                    // IWYU pragma: export
+#include "common/bitset_reduce.h"                // IWYU pragma: export
+#include "common/env.h"                          // IWYU pragma: export
 #include "common/errors.h"                       // IWYU pragma: export
+#include "common/feistel.h"                      // IWYU pragma: export
 #include "core/campaign.h"                       // IWYU pragma: export
 #include "core/decision_optimizer.h"             // IWYU pragma: export
 #include "core/fault_tolerance.h"                // IWYU pragma: export

@@ -1,0 +1,52 @@
+// Seeded invertible permutations of [size] with O(1) evaluation.
+//
+// The implicit-instance layer (bcc/instance_view.h) needs families of
+// bijections that can be queried in both directions at n = 10^6 without ever
+// materializing a table: a vertex's port wiring is a permutation of [n-1],
+// the input-graph families place vertices around cycles via a permutation of
+// [n]. A balanced Feistel network over 2k bits (2^{2k} >= size) gives a
+// keyed bijection of the power-of-four domain; cycle-walking restricts it to
+// exactly [size] — repeatedly step until the value lands inside [size],
+// which follows the permutation's cycle through the out-of-range values and
+// therefore stays a bijection. The domain is < 4 * size, so a walk takes
+// fewer than 4 steps in expectation and each direction is O(1).
+//
+// This is a statistical mixer, not a cryptographic PRP: round functions are
+// SplitMix64 finalizer-style, chosen for avalanche quality and speed. Every
+// value is a pure function of (seed, size, x), so instances are replayable
+// from their spec alone.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace bcclb {
+
+class FeistelPermutation {
+ public:
+  // The empty permutation (size 0); forward/inverse must not be called.
+  FeistelPermutation() = default;
+
+  FeistelPermutation(std::uint64_t seed, std::uint64_t size);
+
+  std::uint64_t size() const { return size_; }
+
+  // The image of x under the permutation; requires x < size.
+  std::uint64_t forward(std::uint64_t x) const;
+
+  // The preimage: inverse(forward(x)) == x for all x < size.
+  std::uint64_t inverse(std::uint64_t y) const;
+
+ private:
+  static constexpr unsigned kRounds = 4;
+
+  std::uint64_t step(std::uint64_t x) const;
+  std::uint64_t unstep(std::uint64_t y) const;
+
+  std::uint64_t size_ = 0;
+  unsigned half_bits_ = 1;          // k: each Feistel half is k bits
+  std::uint64_t half_mask_ = 1;     // 2^k - 1
+  std::array<std::uint64_t, kRounds> keys_{};
+};
+
+}  // namespace bcclb

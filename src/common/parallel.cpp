@@ -1,27 +1,19 @@
 #include "common/parallel.h"
 
-#include <cerrno>
-#include <cstdlib>
 #include <exception>
 #include <thread>
 #include <vector>
 
+#include "common/env.h"
+
 namespace bcclb {
 
 unsigned default_parallel_threads() {
-  if (const char* env = std::getenv("BCCLB_THREADS")) {
-    // Strict whole-string parse: strtol alone would accept leading
-    // whitespace and "7x"-style prefixes. Malformed, zero, negative or
-    // overflowing values fall through to the hardware default instead of
-    // being trusted; in-range values clamp to [1, 256].
-    char* end = nullptr;
-    errno = 0;
-    const long parsed = std::strtol(env, &end, 10);
-    const bool numeric =
-        env[0] >= '0' && env[0] <= '9' && end != env && *end == '\0' && errno != ERANGE;
-    if (numeric && parsed >= 1) {
-      return static_cast<unsigned>(parsed > 256 ? 256 : parsed);
-    }
+  // Strict whole-string parse (common/env.h): malformed, zero, or
+  // overflowing values fall through to the hardware default instead of
+  // being trusted; in-range values clamp to [1, 256].
+  if (const auto parsed = env_u64("BCCLB_THREADS"); parsed && *parsed >= 1) {
+    return static_cast<unsigned>(*parsed > 256 ? 256 : *parsed);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;

@@ -6,8 +6,11 @@
 #include <numeric>
 #include <utility>
 
+#include "bcc/algorithms/min_id_flood.h"
 #include "bcc/batch_runner.h"
+#include "bcc/soa_engine.h"
 #include "common/check.h"
+#include "common/errors.h"
 #include "common/mathutil.h"
 #include "crossing/active_edges.h"
 #include "crossing/crossing.h"
@@ -34,6 +37,48 @@ bool run_decision(RoundEngine& engine, const BccInstance& instance,
 double choose2(double m) { return m * (m - 1.0) / 2.0; }
 
 }  // namespace
+
+ImplicitClassifyReport implicit_classify_experiment(const ImplicitSpec& spec, unsigned bandwidth,
+                                                    unsigned threads, bool digest_transcript) {
+  ImplicitClassifyReport report;
+  report.spec = spec;
+  const InstanceView view(spec);
+  const std::size_t n = view.num_vertices();
+  report.bandwidth = bandwidth != 0 ? bandwidth : std::max(1u, bit_width_u64(n - 1));
+
+  SoaMinIdFlood program;
+  SoaRoundEngine engine;
+  SoaRunOptions options;
+  options.require_all_finished = true;
+  options.digest_transcript = digest_transcript;
+  options.threads = threads;
+  const SoaRunResult result = engine.run(view, report.bandwidth, program,
+                                         SoaMinIdFlood::rounds_needed(n), options);
+
+  report.rounds_executed = result.rounds_executed;
+  report.decision = result.decision;
+  report.components_found = program.num_components();
+  try {
+    report.components_expected = view.implicit_instance()->num_components();
+  } catch (const BcclbError&) {
+    report.components_expected = 0;  // kRandomRegular: no closed form
+  }
+  report.ground_truth = report.components_expected != 0 ? report.components_expected == 1
+                                                        : report.components_found == 1;
+  report.verdict_correct = report.decision == report.ground_truth &&
+                           (report.components_expected == 0 ||
+                            report.components_found == report.components_expected);
+  report.total_bits_broadcast = result.total_bits_broadcast;
+  report.labels_digest = result.labels_digest;
+  report.transcript_digest = result.transcript_digest;
+  report.peak_buffer_bytes = result.stats.peak_buffer_bytes;
+  report.wall_time_ns = result.stats.wall_time_ns;
+  if (result.stats.wall_time_ns > 0) {
+    report.rounds_per_sec = static_cast<double>(result.rounds_executed) * 1e9 /
+                            static_cast<double>(result.stats.wall_time_ns);
+  }
+  return report;
+}
 
 StarErrorReport star_error_experiment(std::size_t n, unsigned t,
                                       const AlgorithmFactory& factory, const PublicCoins* coins,

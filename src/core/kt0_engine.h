@@ -12,11 +12,47 @@
 #include <cstdint>
 #include <string>
 
+#include "bcc/instance_view.h"
 #include "bcc/simulator.h"
 #include "crossing/indistinguishability_graph.h"
 #include "graph/cycle_structure.h"
 
 namespace bcclb {
+
+// ---- Implicit-scale classification ------------------------------------------
+//
+// The upper-bound side at sizes enumeration cannot reach: run the min-ID
+// flood (the Θ(n)-round KT-0 Connectivity baseline) on an implicitly defined
+// instance through the SoA engine and check the verdict against the
+// family's closed-form component count. This is the n = 10^6 experiment —
+// state stays O(n) because neither the instance nor the engine ever
+// materializes an adjacency or wiring table.
+
+struct ImplicitClassifyReport {
+  ImplicitSpec spec;
+  unsigned bandwidth = 0;
+  unsigned rounds_executed = 0;
+  bool decision = false;      // the algorithm's Connectivity verdict
+  bool ground_truth = false;  // closed-form: num_components == 1
+  bool verdict_correct = false;
+  std::uint64_t components_found = 0;     // label classes after the run
+  std::uint64_t components_expected = 0;  // 0 = family has no closed form
+  std::uint64_t total_bits_broadcast = 0;
+  std::uint64_t labels_digest = 0;
+  std::uint64_t transcript_digest = 0;  // 0 unless digest_transcript
+  std::uint64_t peak_buffer_bytes = 0;
+  std::uint64_t wall_time_ns = 0;
+  double rounds_per_sec = 0.0;
+};
+
+// Runs min-ID flooding over the spec's instance. bandwidth 0 picks the
+// smallest width that carries every ID; threads is the reduction width;
+// digest_transcript streams the round-major digest (O(n)/round — leave off
+// at scale). For kRandomRegular (no closed-form component count) the report
+// checks the verdict against the algorithm's own label count instead.
+ImplicitClassifyReport implicit_classify_experiment(const ImplicitSpec& spec,
+                                                    unsigned bandwidth = 0, unsigned threads = 1,
+                                                    bool digest_transcript = false);
 
 // ---- Theorem 3.5: the star distribution -------------------------------------
 

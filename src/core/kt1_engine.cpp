@@ -158,6 +158,17 @@ Kt1SimulationResult simulate_kt1_two_party(const BccInstance& instance,
   return result;
 }
 
+Kt1SimulationResult simulate_kt1_two_party(const InstanceView& view,
+                                           const std::function<bool(VertexId)>& alice_hosts,
+                                           const AlgorithmFactory& factory, unsigned bandwidth,
+                                           unsigned max_rounds, const PublicCoins* coins) {
+  if (const BccInstance* instance = view.explicit_instance()) {
+    return simulate_kt1_two_party(*instance, alice_hosts, factory, bandwidth, max_rounds, coins);
+  }
+  const BccInstance materialized = view.to_explicit();
+  return simulate_kt1_two_party(materialized, alice_hosts, factory, bandwidth, max_rounds, coins);
+}
+
 namespace {
 
 std::optional<SetPartition> recover_join_from_labels(
@@ -179,8 +190,8 @@ PartitionViaBcc solve_partition_via_bcc(const SetPartition& pa, const SetPartiti
   const BccInstance instance = BccInstance::kt1(red.graph);
   PartitionViaBcc out{
       simulate_kt1_two_party(
-          instance, [&](VertexId v) { return red.alice_hosts(v); }, factory, bandwidth,
-          max_rounds, coins),
+          InstanceView(&instance), [&](VertexId v) { return red.alice_hosts(v); }, factory,
+          bandwidth, max_rounds, coins),
       pa.join(pb).is_coarsest(), pa.join(pb), std::nullopt};
   out.recovered_join = recover_join_from_labels(out.sim.labels, red.l(0), red.ground_n);
   return out;
@@ -193,8 +204,8 @@ PartitionViaBcc solve_two_partition_via_bcc(const SetPartition& pa, const SetPar
   const BccInstance instance = BccInstance::kt1(red.graph);
   PartitionViaBcc out{
       simulate_kt1_two_party(
-          instance, [&](VertexId v) { return red.alice_hosts(v); }, factory, bandwidth,
-          max_rounds, coins),
+          InstanceView(&instance), [&](VertexId v) { return red.alice_hosts(v); }, factory,
+          bandwidth, max_rounds, coins),
       pa.join(pb).is_coarsest(), pa.join(pb), std::nullopt};
   out.recovered_join = recover_join_from_labels(out.sim.labels, red.l(0), red.ground_n);
   return out;

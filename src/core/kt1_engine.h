@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "bcc/batch_runner.h"
+#include "bcc/instance_view.h"
 #include "bcc/simulator.h"
 #include "comm/protocol.h"
 #include "core/reduction.h"
@@ -38,6 +39,16 @@ struct Kt1SimulationResult {
 // vertices only ever see bits that crossed the protocol or came from
 // co-hosted vertices, and the result matches a direct BccSimulator run.
 Kt1SimulationResult simulate_kt1_two_party(const BccInstance& instance,
+                                           const std::function<bool(VertexId)>& alice_hosts,
+                                           const AlgorithmFactory& factory, unsigned bandwidth,
+                                           unsigned max_rounds,
+                                           const PublicCoins* coins = nullptr);
+
+// View seam: explicit views delegate directly; implicit views materialize
+// first (the two-party simulation drives per-vertex algorithms, so it is an
+// enumeration-scale experiment — ImplicitInstance::materialize's size
+// ceiling applies and the instance must be KT-1).
+Kt1SimulationResult simulate_kt1_two_party(const InstanceView& view,
                                            const std::function<bool(VertexId)>& alice_hosts,
                                            const AlgorithmFactory& factory, unsigned bandwidth,
                                            unsigned max_rounds,

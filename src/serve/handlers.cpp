@@ -7,6 +7,7 @@
 #include "comm/lower_bounds.h"
 #include "common/errors.h"
 #include "core/info_engine.h"
+#include "core/kt0_engine.h"
 #include "crossing/indistinguishability_graph.h"
 #include "crossing/matching.h"
 #include "graph/cycle_structure.h"
@@ -143,6 +144,39 @@ std::string info_artifact(std::uint32_t n, double keep_fraction) {
   return out;
 }
 
+std::string sim_implicit_artifact(std::uint8_t family, std::uint32_t n, std::uint64_t seed,
+                                  unsigned threads) {
+  ImplicitSpec spec;
+  spec.n = n;
+  spec.family = static_cast<ImplicitFamily>(family);
+  spec.seed = seed;
+  // Wire validation already bounded family and n; the remaining constraint
+  // is per-family (the default 3-cycle split needs 3 vertices per cycle).
+  if (spec.family == ImplicitFamily::kMultiCycle && n < 3 * spec.cycles) {
+    throw ProtocolViolationError("sim-implicit: multi-cycle needs n >= " +
+                                 std::to_string(3 * spec.cycles) + " at " +
+                                 std::to_string(spec.cycles) + " cycles");
+  }
+  const ImplicitClassifyReport report =
+      implicit_classify_experiment(spec, 0, threads == 0 ? 1 : threads);
+
+  // Timing fields (wall time, rounds/sec) stay out of the artifact: the
+  // bytes must be bit-identical across builds, cache hits, and restarts.
+  std::string out;
+  appendf(out, "sim-implicit family=%s n=%u seed=%016llx\n",
+          implicit_family_name(spec.family), n, static_cast<unsigned long long>(seed));
+  appendf(out, "bandwidth = %u, rounds = %u\n", report.bandwidth, report.rounds_executed);
+  appendf(out, "components found = %llu, expected = %llu\n",
+          static_cast<unsigned long long>(report.components_found),
+          static_cast<unsigned long long>(report.components_expected));
+  appendf(out, "decision = %s (connectivity), correct = %s\n",
+          report.decision ? "YES" : "NO", report.verdict_correct ? "yes" : "NO");
+  appendf(out, "total bits broadcast = %llu\n",
+          static_cast<unsigned long long>(report.total_bits_broadcast));
+  appendf(out, "labels digest = %s\n", digest_hex(report.labels_digest).c_str());
+  return out;
+}
+
 std::string compute_artifact(const Request& request, unsigned threads) {
   switch (request.type) {
     case RequestType::kClassify:
@@ -156,6 +190,8 @@ std::string compute_artifact(const Request& request, unsigned threads) {
       std::memcpy(&keep, &request.keep_bits, sizeof keep);
       return info_artifact(request.n, keep);
     }
+    case RequestType::kSimImplicit:
+      return sim_implicit_artifact(request.family, request.n, request.packed, threads);
     case RequestType::kStats:
       break;
   }

@@ -32,5 +32,9 @@ std::string indist_graph_artifact(std::uint32_t n, unsigned threads);
 std::string rank_artifact(std::uint8_t family, std::uint32_t n);
 // Theorem 4.5: PartitionComp information bound.
 std::string info_artifact(std::uint32_t n, double keep_fraction);
+// Implicit-instance min-ID flood classification (the InstanceView scale
+// path); `threads` widens the SoA reductions without changing the bytes.
+std::string sim_implicit_artifact(std::uint8_t family, std::uint32_t n, std::uint64_t seed,
+                                  unsigned threads);
 
 }  // namespace bcclb

@@ -67,6 +67,7 @@ const char* request_type_name(RequestType type) {
     case RequestType::kIndistGraph: return "indist-graph";
     case RequestType::kRank: return "rank";
     case RequestType::kInfo: return "info";
+    case RequestType::kSimImplicit: return "sim-implicit";
   }
   return "?";
 }
@@ -103,6 +104,11 @@ std::string encode_request_payload(const Request& request) {
     case RequestType::kInfo:
       append_u32(out, request.n);
       append_u64(out, request.keep_bits);
+      break;
+    case RequestType::kSimImplicit:
+      out.push_back(static_cast<char>(request.family));
+      append_u32(out, request.n);
+      append_u64(out, request.packed);  // the spec seed
       break;
   }
   return out;
@@ -226,6 +232,22 @@ Request decode_request(std::uint8_t type, std::string_view payload) {
       std::memcpy(&keep, &request.keep_bits, sizeof keep);
       if (!(keep >= 0.0 && keep <= 1.0)) {  // rejects NaN too
         throw ProtocolViolationError("info: keep fraction outside [0, 1]");
+      }
+      break;
+    }
+    case RequestType::kSimImplicit: {
+      request.type = RequestType::kSimImplicit;
+      request.family = static_cast<std::uint8_t>(reader.take(1));
+      request.n = static_cast<std::uint32_t>(reader.take(4));
+      request.packed = reader.take(8);  // the spec seed
+      if (request.family > 3) {
+        throw ProtocolViolationError("sim-implicit: unknown family byte " +
+                                     std::to_string(request.family));
+      }
+      if (request.n < kMinSimImplicitN || request.n > kMaxSimImplicitN) {
+        throw ProtocolViolationError("sim-implicit: n=" + std::to_string(request.n) +
+                                     " outside [" + std::to_string(kMinSimImplicitN) + ", " +
+                                     std::to_string(kMaxSimImplicitN) + "]");
       }
       break;
     }

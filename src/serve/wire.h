@@ -45,6 +45,7 @@ enum class RequestType : std::uint8_t {
                      // star-packing certificate
   kRank = 4,         // Theorem 4.4 pipeline: rank certificate for M_n / E_n
   kInfo = 5,         // Theorem 4.5: PartitionComp information bound
+  kSimImplicit = 6,  // min-ID flood over an implicit instance (family, n, seed)
 };
 
 const char* request_type_name(RequestType type);
@@ -74,6 +75,7 @@ enum class CacheSource : std::uint8_t {
 //   kIndistGraph — n
 //   kRank        — family ('M' or 'E'), n
 //   kInfo        — n, keep_bits (IEEE-754 bit pattern of the keep fraction)
+//   kSimImplicit — family (an ImplicitFamily byte), n, packed (the spec seed)
 struct Request {
   RequestType type = RequestType::kStats;
   std::uint32_t n = 0;
@@ -136,5 +138,9 @@ inline constexpr std::uint32_t kMaxIndistN = 10;     // |V1| = 181,440
 inline constexpr std::uint32_t kMaxRankMN = 8;       // dim B_8 = 4140
 inline constexpr std::uint32_t kMaxRankEN = 10;      // dim 9!! = 945
 inline constexpr std::uint32_t kMaxInfoN = 8;        // B_8 partitions
+// Implicit simulation is O(n) state but Θ(n) rounds of O(frontier) work;
+// 2^20 vertices is the largest size the daemon can serve interactively.
+inline constexpr std::uint32_t kMinSimImplicitN = 6;
+inline constexpr std::uint32_t kMaxSimImplicitN = 1u << 20;
 
 }  // namespace bcclb

@@ -13,8 +13,14 @@
 #include <utility>
 #include <vector>
 
+#include <bit>
+#include <cstdlib>
+#include <optional>
+
 #include "common/bigint.h"
+#include "common/bitset_reduce.h"
 #include "common/check.h"
+#include "common/env.h"
 #include "common/errors.h"
 #include "common/mathutil.h"
 #include "common/parallel.h"
@@ -354,6 +360,112 @@ TEST(ParallelForBlocks, ParallelSumBitIdenticalToSerial) {
   parallel_for_blocks(count, 1, fill(serial));
   parallel_for_blocks(count, 7, fill(parallel));
   EXPECT_EQ(serial, parallel);
+}
+
+// ---- strict env parsing (common/env.h) --------------------------------------
+
+TEST(EnvParse, AcceptsPlainDecimal) {
+  EXPECT_EQ(parse_env_u64("0"), 0u);
+  EXPECT_EQ(parse_env_u64("7"), 7u);
+  EXPECT_EQ(parse_env_u64("1000000"), 1000000u);
+  EXPECT_EQ(parse_env_u64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(EnvParse, RejectsEverythingElse) {
+  for (const char* bad : {"", " 7", "7 ", "+7", "-7", "7x", "x7", "0x10", "3.5", "1e6",
+                          "18446744073709551616", "99999999999999999999"}) {
+    EXPECT_EQ(parse_env_u64(bad), std::nullopt) << "input '" << bad << "'";
+  }
+}
+
+// Saves and restores one variable so the suite never leaks state.
+class EnvVarGuard {
+ public:
+  explicit EnvVarGuard(const char* name) : name_(name) {
+    const char* current = std::getenv(name);
+    if (current != nullptr) saved_ = current;
+  }
+  ~EnvVarGuard() {
+    if (saved_.has_value()) {
+      setenv(name_, saved_->c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+  void set(const char* value) { setenv(name_, value, 1); }
+  void unset() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(EnvParse, RequiredValidThrowsOnMalformedOnly) {
+  EnvVarGuard guard("BCCLB_TEST_ENV_VAR");
+  guard.unset();
+  EXPECT_EQ(env_u64_required_valid("BCCLB_TEST_ENV_VAR"), std::nullopt);
+  guard.set("123");
+  EXPECT_EQ(env_u64_required_valid("BCCLB_TEST_ENV_VAR"), 123u);
+  guard.set("12x");
+  EXPECT_THROW(env_u64_required_valid("BCCLB_TEST_ENV_VAR"), BcclbError);
+  guard.set(" 12");
+  EXPECT_THROW(env_u64_required_valid("BCCLB_TEST_ENV_VAR"), BcclbError);
+}
+
+TEST(EnvParse, LenientLookupNeverThrows) {
+  EnvVarGuard guard("BCCLB_TEST_ENV_VAR");
+  guard.set("nonsense");
+  EXPECT_EQ(env_u64("BCCLB_TEST_ENV_VAR"), std::nullopt);
+  guard.set("31");
+  EXPECT_EQ(env_u64("BCCLB_TEST_ENV_VAR"), 31u);
+}
+
+// ---- cache-blocked bitset reductions (common/bitset_reduce.h) ---------------
+
+TEST(BitsetReduce, PopcountMatchesSerialAtEveryWidth) {
+  Rng rng(99);
+  std::vector<std::uint64_t> words(3 * kReduceBlockWords + 17);
+  for (auto& w : words) w = rng.next_u64();
+  std::uint64_t expected = 0;
+  for (const std::uint64_t w : words) expected += static_cast<std::uint64_t>(std::popcount(w));
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    EXPECT_EQ(popcount_words(words, threads), expected) << threads << " threads";
+  }
+}
+
+TEST(BitsetReduce, AllBitsSetHandlesTails) {
+  for (const std::size_t num_bits : {1u, 63u, 64u, 65u, 128u, 1000u}) {
+    std::vector<std::uint64_t> words((num_bits + 63) / 64, ~0ULL);
+    for (const unsigned threads : {1u, 4u}) {
+      EXPECT_TRUE(all_bits_set(words, num_bits, threads)) << num_bits;
+    }
+    // Clearing the last relevant bit must flip the answer, even when the
+    // word's irrelevant tail bits stay set.
+    words[(num_bits - 1) / 64] &= ~(1ULL << ((num_bits - 1) % 64));
+    for (const unsigned threads : {1u, 4u}) {
+      EXPECT_FALSE(all_bits_set(words, num_bits, threads)) << num_bits;
+    }
+  }
+}
+
+TEST(BitsetReduce, MinMaxAndWidthSumsAreThreadInvariant) {
+  Rng rng(7);
+  std::vector<std::uint64_t> values(2 * kReduceBlockWords + 5);
+  std::vector<std::uint8_t> widths(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = rng.next_u64();
+    widths[i] = static_cast<std::uint8_t>(rng.next_u64() % 65);
+  }
+  const MinMaxU64 serial_mm = min_max_values(values, 1);
+  const std::uint64_t serial_sum = sum_widths(widths, 1);
+  EXPECT_EQ(serial_mm.min, *std::min_element(values.begin(), values.end()));
+  EXPECT_EQ(serial_mm.max, *std::max_element(values.begin(), values.end()));
+  for (const unsigned threads : {2u, 8u}) {
+    const MinMaxU64 mm = min_max_values(values, threads);
+    EXPECT_EQ(mm.min, serial_mm.min);
+    EXPECT_EQ(mm.max, serial_mm.max);
+    EXPECT_EQ(sum_widths(widths, threads), serial_sum);
+  }
 }
 
 }  // namespace

@@ -56,6 +56,15 @@ Request rank_request(char family, std::uint32_t n) {
   return r;
 }
 
+Request sim_implicit_request(std::uint8_t family, std::uint32_t n, std::uint64_t seed) {
+  Request r;
+  r.type = RequestType::kSimImplicit;
+  r.family = family;
+  r.n = n;
+  r.packed = seed;
+  return r;
+}
+
 // Packed word of the canonical single cycle 0 -> 1 -> ... -> n-1 -> 0.
 std::uint64_t ring_word(std::uint32_t n) {
   std::uint64_t packed = 0;
@@ -135,6 +144,7 @@ TEST(Wire, RequestRoundTripsEveryType) {
         r.keep_bits = 0x3fe0000000000000ULL;  // 0.5
         return r;
       }(),
+      sim_implicit_request(1, 100, 2019),
   };
   for (const Request& request : requests) {
     const std::string frame = encode_request_frame(request);
@@ -213,6 +223,10 @@ TEST(Wire, ValidatesParameterRanges) {
   EXPECT_THROW(decode(info), ProtocolViolationError);
   info.keep_bits = 0x7ff8000000000000ULL;  // NaN
   EXPECT_THROW(decode(info), ProtocolViolationError);
+  // sim-implicit: unknown family byte, and n outside the serving range.
+  EXPECT_THROW(decode(sim_implicit_request(4, 100, 0)), ProtocolViolationError);
+  EXPECT_THROW(decode(sim_implicit_request(0, kMinSimImplicitN - 1, 0)), ProtocolViolationError);
+  EXPECT_THROW(decode(sim_implicit_request(0, kMaxSimImplicitN + 1, 0)), ProtocolViolationError);
 }
 
 TEST(Wire, CacheKeyIsContentAddressed) {
@@ -307,6 +321,27 @@ TEST(Handlers, RankAndInfoArtifactsCarryTheCertificates) {
   EXPECT_NE(rank_e.find("rank E_8"), std::string::npos);
   const std::string info = info_artifact(5, 1.0);
   EXPECT_NE(info.find("Theorem 4.5"), std::string::npos);
+}
+
+TEST(Handlers, SimImplicitVerdictsAndDeterminism) {
+  // One cycle is connected, two cycles are not; the artifact carries the
+  // verdict and the labels digest but no timing fields.
+  const std::string one = sim_implicit_artifact(0, 100, 2019, 1);
+  EXPECT_NE(one.find("decision = YES"), std::string::npos);
+  EXPECT_NE(one.find("correct = yes"), std::string::npos);
+  const std::string two = sim_implicit_artifact(1, 100, 2019, 1);
+  EXPECT_NE(two.find("components found = 2, expected = 2"), std::string::npos);
+  EXPECT_NE(two.find("decision = NO"), std::string::npos);
+  EXPECT_NE(two.find("labels digest"), std::string::npos);
+  EXPECT_EQ(two.find("rounds/sec"), std::string::npos);
+
+  // Bit-identical across worker thread widths (the cache-soundness contract).
+  EXPECT_EQ(two, sim_implicit_artifact(1, 100, 2019, 8));
+  Request request = sim_implicit_request(1, 100, 2019);
+  EXPECT_EQ(compute_artifact(request, 1), two);
+
+  // Passed wire validation but fails the per-family constraint.
+  EXPECT_THROW(sim_implicit_artifact(2, 8, 0, 1), ProtocolViolationError);
 }
 
 // ---- errors ----------------------------------------------------------------

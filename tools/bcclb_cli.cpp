@@ -14,6 +14,7 @@
 //   campaign <dir> [seed]      checkpointed standard campaign into <dir>
 //   campaign --resume <dir>    re-run only the unfinished jobs
 //   campaign --verify [golden] re-run in memory, diff digests vs golden.json
+//   sim --implicit …           min-ID flood on an implicit instance (n to 10^6)
 //   serve …                    long-lived daemon on a Unix or TCP socket
 //   loadgen …                  seeded load generator against a running daemon
 //   version                    git describe baked in at configure time
@@ -518,6 +519,112 @@ int cmd_loadgen(int argc, char** argv) {
   return 0;
 }
 
+// Million-node simulation over an implicitly defined instance: the
+// InstanceView scale path. Flags override the BCCLB_SIM_* environment
+// defaults; all of them go through the strict parser, so a malformed
+// override is a loud failure, never a silently different experiment.
+int cmd_sim(int argc, char** argv) {
+  ImplicitSpec spec;
+  spec.seed = 2019;
+  std::optional<std::uint64_t> n;
+  unsigned bandwidth = 0;  // 0 = smallest width that carries every ID
+  unsigned threads = 1;
+  bool implicit = false;
+  bool digest = false;
+
+  // Environment defaults (strict: set-but-malformed throws BcclbError).
+  if (const auto env_n = env_u64_required_valid("BCCLB_SIM_N")) n = *env_n;
+  if (const auto env_seed = env_u64_required_valid("BCCLB_SIM_SEED")) spec.seed = *env_seed;
+  if (const auto env_family = env_string("BCCLB_SIM_FAMILY")) {
+    const auto parsed = parse_implicit_family(*env_family);
+    if (!parsed) {
+      std::fprintf(stderr, "BCCLB_SIM_FAMILY=\"%.*s\" is not an implicit family\n",
+                   static_cast<int>(env_family->size()), env_family->data());
+      return usage();
+    }
+    spec.family = *parsed;
+  }
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--implicit") {
+      implicit = true;
+    } else if (flag == "--digest") {
+      digest = true;
+    } else if (flag == "--family" && value != nullptr) {
+      const auto parsed = parse_implicit_family(value);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "unknown family '%s'; options: one-cycle two-cycle multi-cycle "
+                     "random-regular\n",
+                     value);
+        return usage();
+      }
+      spec.family = *parsed;
+      ++i;
+    } else if (flag == "--n" && value != nullptr) {
+      n = parse_u64(value);
+      if (!n) return usage();
+      ++i;
+    } else if (flag == "--seed" && value != nullptr) {
+      const auto seed = parse_u64(value);
+      if (!seed) return usage();
+      spec.seed = *seed;
+      ++i;
+    } else if (flag == "--bandwidth" && value != nullptr) {
+      const auto b = parse_unsigned(value);
+      if (!b || *b < 1 || *b > 64) return usage();
+      bandwidth = *b;
+      ++i;
+    } else if (flag == "--threads" && value != nullptr) {
+      const auto t = parse_unsigned(value);
+      if (!t || *t == 0) return usage();
+      threads = *t;
+      ++i;
+    } else if (flag == "--cycles" && value != nullptr) {
+      const auto c = parse_unsigned(value);
+      if (!c || *c == 0) return usage();
+      spec.cycles = *c;
+      ++i;
+    } else {
+      return usage();
+    }
+  }
+  if (!implicit) {
+    std::fprintf(stderr, "sim: only the --implicit path exists (explicit instances go through "
+                         "the enumeration commands)\n");
+    return usage();
+  }
+  if (!n) {
+    std::fprintf(stderr, "sim: need --n (or BCCLB_SIM_N)\n");
+    return usage();
+  }
+  spec.n = *n;
+
+  const auto report = implicit_classify_experiment(spec, bandwidth, threads, digest);
+  std::printf("sim-implicit family=%s n=%llu seed=%llu\n", implicit_family_name(spec.family),
+              static_cast<unsigned long long>(spec.n),
+              static_cast<unsigned long long>(spec.seed));
+  std::printf("bandwidth = %u, rounds = %u\n", report.bandwidth, report.rounds_executed);
+  std::printf("components found = %llu, expected = %llu\n",
+              static_cast<unsigned long long>(report.components_found),
+              static_cast<unsigned long long>(report.components_expected));
+  std::printf("decision = %s (connectivity), correct = %s\n", report.decision ? "YES" : "NO",
+              report.verdict_correct ? "yes" : "NO");
+  std::printf("total bits broadcast = %llu\n",
+              static_cast<unsigned long long>(report.total_bits_broadcast));
+  std::printf("labels digest = %s\n", digest_hex(report.labels_digest).c_str());
+  if (digest) {
+    std::printf("transcript digest = %s\n", digest_hex(report.transcript_digest).c_str());
+  }
+  std::printf("peak state = %.1f MiB (O(n); no O(n^2) tables)\n",
+              static_cast<double>(report.peak_buffer_bytes) / (1024.0 * 1024.0));
+  std::printf("wall = %.3f s, %.1f rounds/sec\n",
+              static_cast<double>(report.wall_time_ns) * 1e-9, report.rounds_per_sec);
+  return report.verdict_correct ? 0 : 1;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: bcclb <command> [args]\n"
@@ -534,15 +641,19 @@ int usage() {
                "  campaign <dir> [seed=2019]\n"
                "  campaign --resume <dir> [seed=2019]\n"
                "  campaign --verify [golden=results/golden.json]\n"
+               "  sim     --implicit [--family F] [--n N] [--seed S] [--bandwidth B]\n"
+               "          [--threads N] [--cycles K] [--digest]\n"
                "  serve   (--socket <path> | --port <p>) [--threads N] [--queue N]\n"
                "          [--cache-budget <bytes>] [--max-connections N]\n"
                "  loadgen (--socket <path> | --port <p>) [--requests N] [--concurrency N]\n"
                "          [--seed S] [--pool N] [--max-n N] [--stats-every N] [--json <path>]\n"
                "  version\n"
                "adversaries: silent id-bits hashed-id coin-xor-id port-parity echo state-hash\n"
+               "families: one-cycle two-cycle multi-cycle random-regular\n"
                "numeric arguments must be whole in-range numbers\n"
                "campaign honours BCCLB_THREADS and BCCLB_MEM_BUDGET (bytes, K/M/G suffix);\n"
-               "serve honours BCCLB_MEM_BUDGET for the artifact cache\n");
+               "serve honours BCCLB_MEM_BUDGET for the artifact cache;\n"
+               "sim honours BCCLB_SIM_N, BCCLB_SIM_SEED, BCCLB_SIM_FAMILY (flags override)\n");
   return 2;
 }
 
@@ -558,6 +669,7 @@ int dispatch(int argc, char** argv) {
   }
   if (cmd == "serve") return cmd_serve(argc, argv);
   if (cmd == "loadgen") return cmd_loadgen(argc, argv);
+  if (cmd == "sim") return cmd_sim(argc, argv);
   if (cmd == "counts" && argc >= 3) {
     const auto n = parse_size(argv[2]);
     if (!n) return usage();
