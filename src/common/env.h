@@ -5,7 +5,10 @@
 // typo'd override is never half-trusted. Every numeric BCCLB_* variable goes
 // through this one parser now — default_parallel_threads() delegates here,
 // and the `bcclb sim` knobs (BCCLB_SIM_N, BCCLB_SIM_SEED, BCCLB_SIM_FAMILY)
-// are read with the env_* helpers instead of ad-hoc atoi.
+// are read with the env_* helpers instead of ad-hoc atoi. Structured
+// variables build on the same primitives: BCCLB_SERVE_FAULTS (the serving
+// chaos schedule, serve/chaos.h) parses each key=value field with
+// parse_env_u64 and throws on anything it does not recognize.
 //
 // Two failure disciplines, chosen per call site:
 //   parse_env_u64 / env_u64  — malformed yields nullopt; the caller decides

@@ -25,6 +25,14 @@
 //     RequestTooLargeError  — a request frame exceeds the payload cap
 //     ProtocolViolationError— malformed frame, unknown type, bad parameters
 //     DrainingError         — the daemon is draining and admits no new work
+//     ServeClientError      — base of the client-side failure taxonomy:
+//       ClientTimeoutError    — a per-request deadline expired (transient)
+//       ConnectionLostError   — EOF / reset mid-exchange, or a reconnect
+//                               attempt failed (transient for idempotent
+//                               queries — every bccd query is)
+//       ServerReportedError   — the server answered with a non-OK status and
+//                               the retry budget could not clear it; carries
+//                               the wire status code
 #pragma once
 
 #include <cstdint>
@@ -178,6 +186,52 @@ class DrainingError : public ServeError {
  public:
   using ServeError::ServeError;
   const char* kind() const noexcept override { return "DrainingError"; }
+};
+
+// ---- Client-side taxonomy (serve/client.h) ----------------------------------
+//
+// The hardened ServeClient distinguishes *how* a round-trip failed so loadgen
+// and tests can assert exact failure modes: a deadline expiry and a dropped
+// connection are both retryable (every bccd query is a pure function of its
+// request), a server-reported terminal status is not, and a protocol
+// violation (undecodable response) remains ProtocolViolationError above.
+
+class ServeClientError : public ServeError {
+ public:
+  using ServeError::ServeError;
+  const char* kind() const noexcept override { return "ServeClientError"; }
+};
+
+// A per-request deadline expired before the response arrived. The connection
+// may have a half-read frame in flight, so the retry path reconnects first.
+class ClientTimeoutError : public ServeClientError {
+ public:
+  using ServeClientError::ServeClientError;
+  const char* kind() const noexcept override { return "ClientTimeoutError"; }
+  bool transient() const noexcept override { return true; }
+};
+
+// The transport died mid-exchange: EOF inside a frame, ECONNRESET/EPIPE, or a
+// reconnect attempt that could not reach the endpoint (daemon restarting).
+class ConnectionLostError : public ServeClientError {
+ public:
+  using ServeClientError::ServeClientError;
+  const char* kind() const noexcept override { return "ConnectionLostError"; }
+  bool transient() const noexcept override { return true; }
+};
+
+// The server answered — with a non-OK status the retry budget was unable (or
+// not allowed) to clear. `wire_status` is the raw StatusCode so callers can
+// switch on it without re-parsing the message text.
+class ServerReportedError : public ServeClientError {
+ public:
+  ServerReportedError(const std::string& what, std::uint16_t wire_status)
+      : ServeClientError(what), wire_status_(wire_status) {}
+  const char* kind() const noexcept override { return "ServerReportedError"; }
+  std::uint16_t wire_status() const noexcept { return wire_status_; }
+
+ private:
+  std::uint16_t wire_status_ = 0;
 };
 
 }  // namespace bcclb

@@ -1,11 +1,21 @@
 // Blocking client for the bccd wire protocol — used by `bcclb loadgen`,
 // serve_test, and the CLI's one-shot probe paths.
 //
-// One ServeClient owns one connection. request() is the synchronous
-// round-trip; send_frame()/read_response() expose the two halves for
-// pipelined use, and send_raw() lets tests write deliberately malformed
-// bytes. All failures surface as ServeError (transport) or
-// ProtocolViolationError (undecodable response).
+// One ServeClient owns one connection and remembers its endpoint, so it can
+// reconnect after the daemon restarts. request() is the synchronous
+// round-trip; request_with_retry() is the hardened path: a per-request
+// deadline enforced with poll() around every read/write, bounded retries
+// with the PR 3 seeded exponential backoff (BatchPolicy::retry_backoff_ns —
+// jitter is seeded, never wall-clock, so a retry schedule replays exactly),
+// and reconnect-on-EOF. Every bccd query is a pure function of its request,
+// so retrying after a lost connection or an expired deadline is always safe.
+//
+// Failure taxonomy (common/errors.h): ClientTimeoutError (deadline expired),
+// ConnectionLostError (EOF/reset mid-exchange or reconnect refused),
+// ServerReportedError (non-OK status the retry budget could not clear),
+// ProtocolViolationError (undecodable response), ServeError (everything
+// else). send_frame()/read_response() expose the two halves for pipelined
+// use, and send_raw() lets tests write deliberately malformed bytes.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +25,32 @@
 #include "serve/wire.h"
 
 namespace bcclb {
+
+// Knobs for request_with_retry(). Defaults retry nothing and wait forever —
+// the hardened behaviour is opt-in per call site.
+struct ClientRetryPolicy {
+  // Retries beyond the first attempt; 0 = single attempt.
+  unsigned max_retries = 0;
+  // Per-attempt deadline for the whole round trip; 0 = no deadline.
+  std::uint64_t deadline_ms = 0;
+  // Seeded exponential backoff between attempts: base << (k-1), capped,
+  // jittered by (seed, attempt) — the BatchPolicy schedule verbatim.
+  std::uint64_t backoff_base_ms = 10;
+  std::uint64_t backoff_cap_ms = 1000;
+  std::uint64_t backoff_seed = 0;
+  // Retry QueueFull responses (backpressure is transient by design).
+  // Draining is not retried against the same endpoint: this daemon told us
+  // it will not admit new work.
+  bool retry_queue_full = true;
+};
+
+// One hardened round trip's outcome: the response plus how hard it was to
+// get (loadgen surfaces retries_observed from these).
+struct RetryOutcome {
+  Response response;
+  unsigned retries = 0;     // extra attempts consumed
+  unsigned reconnects = 0;  // connections re-established along the way
+};
 
 class ServeClient {
  public:
@@ -28,11 +64,20 @@ class ServeClient {
   ~ServeClient();
 
   // Synchronous round-trip: one request frame out, one response frame back.
+  // No deadline, no retry — the historical behaviour.
   Response request(const Request& request);
 
+  // Hardened round-trip: deadline per attempt, seeded backoff between
+  // attempts, reconnect before retrying a poisoned connection. Throws the
+  // typed error of the *last* attempt when the budget runs out; returns the
+  // final response otherwise (which may be a non-retryable error status —
+  // callers inspect response.status as usual).
+  RetryOutcome request_with_retry(const Request& request, const ClientRetryPolicy& policy);
+
   // Pipelining halves: responses to queued requests come back in send order.
+  // deadline_ms bounds the whole read (0 = wait forever).
   void send_frame(const Request& request);
-  Response read_response();
+  Response read_response(std::uint64_t deadline_ms = 0);
 
   // Writes arbitrary bytes (for protocol-abuse tests).
   void send_raw(std::string_view bytes);
@@ -40,15 +85,33 @@ class ServeClient {
   // Half-closes the write side, signalling the server we are done sending.
   void shutdown_write();
 
+  // Drops the current connection (if any) and dials the remembered endpoint
+  // again. Throws ConnectionLostError when the endpoint refuses.
+  void reconnect();
+
   void close();
   bool connected() const { return fd_ >= 0; }
 
  private:
+  // Monotonic absolute deadline in ns since epoch of steady_clock; 0 = none.
+  using DeadlineNs = std::uint64_t;
+
   explicit ServeClient(int fd) : fd_(fd) {}
-  void write_all(const char* data, std::size_t size);
-  void read_exact(char* data, std::size_t size);
+  static DeadlineNs deadline_from_ms(std::uint64_t ms);
+  void wait_io(short events, DeadlineNs deadline);
+  void write_all(const char* data, std::size_t size, DeadlineNs deadline);
+  void read_exact(char* data, std::size_t size, DeadlineNs deadline);
+  Response read_response_until(DeadlineNs deadline);
 
   int fd_ = -1;
+  // Remembered endpoint for reconnect(): non-empty unix path wins, else TCP.
+  std::string unix_path_;
+  std::uint16_t tcp_port_ = 0;
 };
+
+// Throws ServerReportedError (carrying the wire status) unless the response
+// is OK; returns the response otherwise. The seam between "a response came
+// back" and "the query succeeded" for callers that treat errors as fatal.
+const Response& require_ok(const Response& response);
 
 }  // namespace bcclb

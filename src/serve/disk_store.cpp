@@ -1,0 +1,189 @@
+#include "serve/disk_store.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "bcc/checkpoint.h"
+#include "common/errors.h"
+
+namespace bcclb {
+
+namespace {
+
+constexpr std::string_view kEntryMagic = "bccd-artifact v1\n";
+constexpr std::string_view kEntrySuffix = ".art";
+
+// Consumes "<label> <16 hex>\n" at `pos`, returning the digest. Empty
+// optional on any mismatch; the caller quarantines.
+std::optional<std::uint64_t> take_hex_line(std::string_view bytes, std::size_t& pos,
+                                           std::string_view label) {
+  const std::size_t need = label.size() + 1 + 16 + 1;
+  if (bytes.size() - pos < need) return std::nullopt;
+  if (bytes.substr(pos, label.size()) != label || bytes[pos + label.size()] != ' ') {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  if (!parse_digest_hex(bytes.substr(pos + label.size() + 1, 16), value)) return std::nullopt;
+  if (bytes[pos + need - 1] != '\n') return std::nullopt;
+  pos += need;
+  return value;
+}
+
+}  // namespace
+
+DiskStore::DiskStore(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) throw ServeError("disk store: empty directory path");
+  if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST) {
+    throw ServeError("disk store: cannot create '" + dir_ + "': " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::stat(dir_.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    throw ServeError("disk store: '" + dir_ + "' is not a directory");
+  }
+}
+
+std::string DiskStore::entry_path(std::uint64_t key) const {
+  return dir_ + "/" + digest_hex(key) + std::string(kEntrySuffix);
+}
+
+std::optional<std::string> DiskStore::lookup(std::uint64_t key) {
+  const std::string path = entry_path(key);
+  if (!file_exists(path)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  auto artifact = read_verified(key, path);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (artifact) {
+    ++stats_.hits;
+  } else {
+    // read_verified already moved the file aside.
+    ++stats_.quarantined;
+    ++stats_.misses;
+  }
+  return artifact;
+}
+
+std::optional<std::string> DiskStore::read_verified(std::uint64_t key, const std::string& path) {
+  std::string bytes;
+  try {
+    bytes = read_file(path);
+  } catch (const CheckpointError&) {
+    quarantine(path);
+    return std::nullopt;
+  }
+
+  std::size_t pos = 0;
+  const auto bad = [&]() -> std::optional<std::string> {
+    quarantine(path);
+    return std::nullopt;
+  };
+  if (bytes.size() < kEntryMagic.size() ||
+      std::string_view(bytes).substr(0, kEntryMagic.size()) != kEntryMagic) {
+    return bad();
+  }
+  pos = kEntryMagic.size();
+  const auto recorded_key = take_hex_line(bytes, pos, "key");
+  if (!recorded_key || *recorded_key != key) return bad();
+  const auto recorded_digest = take_hex_line(bytes, pos, "digest");
+  if (!recorded_digest) return bad();
+
+  // "len <decimal>\n" — strict digits, must account for every remaining byte.
+  constexpr std::string_view kLen = "len ";
+  if (bytes.size() - pos < kLen.size() || std::string_view(bytes).substr(pos, kLen.size()) != kLen) {
+    return bad();
+  }
+  pos += kLen.size();
+  std::uint64_t len = 0;
+  std::size_t digits = 0;
+  while (pos < bytes.size() && bytes[pos] >= '0' && bytes[pos] <= '9') {
+    if (len > (UINT64_MAX - 9) / 10) return bad();
+    len = len * 10 + static_cast<std::uint64_t>(bytes[pos] - '0');
+    ++pos;
+    ++digits;
+  }
+  if (digits == 0 || pos >= bytes.size() || bytes[pos] != '\n') return bad();
+  ++pos;
+  if (bytes.size() - pos != len) return bad();  // truncated or trailing garbage
+
+  std::string artifact = bytes.substr(pos);
+  if (fnv1a(artifact) != *recorded_digest) return bad();
+  return artifact;
+}
+
+void DiskStore::quarantine(const std::string& path) {
+  // Keep the corpse for forensics under a name the read path never opens; if
+  // even the rename fails (vanished file, read-only fs), unlink as a last
+  // resort so the next lookup is an honest miss.
+  const std::string aside = path + ".quarantined";
+  if (std::rename(path.c_str(), aside.c_str()) != 0) std::remove(path.c_str());
+}
+
+void DiskStore::insert(std::uint64_t key, std::string_view artifact) {
+  std::string body;
+  body.reserve(kEntryMagic.size() + 64 + artifact.size());
+  body += kEntryMagic;
+  body += "key ";
+  body += digest_hex(key);
+  body += '\n';
+  body += "digest ";
+  body += digest_hex(fnv1a(artifact));
+  body += '\n';
+  body += "len ";
+  body += std::to_string(artifact.size());
+  body += '\n';
+  body += artifact;
+  try {
+    write_file_atomic(entry_path(key), body);
+  } catch (const CheckpointError&) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.write_failures;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.writes;
+}
+
+DiskStoreStats DiskStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t DiskStore::entry_count() const {
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return 0;
+  std::size_t count = 0;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string_view name = entry->d_name;
+    if (name.size() > kEntrySuffix.size() &&
+        name.substr(name.size() - kEntrySuffix.size()) == kEntrySuffix) {
+      ++count;
+    }
+  }
+  ::closedir(d);
+  return count;
+}
+
+bool DiskStore::corrupt_entry_for_test(std::uint64_t key) {
+  const std::string path = entry_path(key);
+  std::string bytes;
+  try {
+    bytes = read_file(path);
+  } catch (const CheckpointError&) {
+    return false;
+  }
+  if (bytes.empty()) return false;
+  bytes.back() ^= 0x01;  // last byte is artifact body (len > 0 in practice)
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace bcclb

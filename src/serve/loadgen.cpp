@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "bcc/batch_runner.h"
 #include "bcc/checkpoint.h"
 #include "common/errors.h"
 #include "common/random.h"
@@ -39,7 +40,8 @@ struct WorkerResult {
   std::vector<double> cold_ms;
   std::vector<double> warm_ms;
   std::size_t sent = 0, ok = 0, errors = 0;
-  std::size_t cold = 0, hits = 0, coalesced = 0, probes = 0;
+  std::size_t cold = 0, hits = 0, coalesced = 0, disk_hits = 0, probes = 0;
+  std::size_t retries = 0, reconnects = 0;
   std::size_t digest_mismatches = 0, byte_mismatches = 0;
   std::map<std::string, std::uint64_t> error_counts;
   std::string failure;  // non-empty: the worker died (transport error)
@@ -133,7 +135,32 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     threads.emplace_back([&, w] {
       WorkerResult& res = results[w];
       try {
-        ServeClient client = connect(config);
+        // Retry path: each worker jitters with its own seed so backoff sleeps
+        // de-synchronize across workers as well as across requests.
+        const bool hardened = config.max_retries > 0 || config.deadline_ms > 0;
+        ClientRetryPolicy policy;
+        policy.max_retries = config.max_retries;
+        policy.deadline_ms = config.deadline_ms;
+        policy.backoff_base_ms = config.backoff_base_ms;
+        policy.backoff_cap_ms = config.backoff_cap_ms;
+        policy.backoff_seed = config.seed ^ (w + 1);
+        // The initial dial gets the same budget as a mid-run reconnect: the
+        // daemon may be restarting as the worker comes up (chaos runs).
+        ServeClient client = [&] {
+          BatchPolicy backoff;
+          backoff.backoff_base_ns = policy.backoff_base_ms * 1'000'000ULL;
+          backoff.backoff_cap_ns = policy.backoff_cap_ms * 1'000'000ULL;
+          backoff.backoff_seed = policy.backoff_seed;
+          for (unsigned attempt = 0;; ++attempt) {
+            try {
+              return connect(config);
+            } catch (const ServeError&) {
+              if (!hardened || attempt >= policy.max_retries) throw;
+              const std::uint64_t ns = retry_backoff_ns(backoff, w, attempt + 1);
+              std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+            }
+          }
+        }();
         Rng rng(config.seed ^ (0x6a09e667f3bcc909ULL * (w + 1)));
         const std::size_t base = config.requests / workers;
         const std::size_t quota = base + (w < config.requests % workers ? 1 : 0);
@@ -146,7 +173,15 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
             request = pool[rng.next_below(pool.size())];
           }
           const auto t0 = std::chrono::steady_clock::now();
-          const Response response = client.request(request);
+          Response response;
+          if (hardened) {
+            RetryOutcome outcome = client.request_with_retry(request, policy);
+            res.retries += outcome.retries;
+            res.reconnects += outcome.reconnects;
+            response = std::move(outcome.response);
+          } else {
+            response = client.request(request);
+          }
           const auto t1 = std::chrono::steady_clock::now();
           const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
           ++res.sent;
@@ -173,6 +208,10 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
               break;
             case CacheSource::kCoalesced:
               ++res.coalesced;
+              break;
+            case CacheSource::kDisk:
+              ++res.disk_hits;
+              res.warm_ms.push_back(ms);  // a disk hit is a warm serve too
               break;
           }
           {
@@ -205,7 +244,10 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     report.cold += res.cold;
     report.cache_hits += res.hits;
     report.coalesced += res.coalesced;
+    report.disk_hits += res.disk_hits;
     report.stats_probes += res.probes;
+    report.retries += res.retries;
+    report.reconnects += res.reconnects;
     report.digest_mismatches += res.digest_mismatches;
     report.byte_mismatches += res.byte_mismatches;
     for (const auto& [name, count] : res.error_counts) report.error_counts[name] += count;
@@ -252,7 +294,10 @@ std::string loadgen_report_json(const LoadgenConfig& config, const LoadgenReport
   counter("cold", report.cold);
   counter("cache_hits", report.cache_hits);
   counter("coalesced", report.coalesced);
+  counter("disk_hits", report.disk_hits);
   counter("stats_probes", report.stats_probes);
+  counter("retries", report.retries);
+  counter("reconnects", report.reconnects);
   counter("digest_mismatches", report.digest_mismatches);
   counter("byte_mismatches", report.byte_mismatches);
   append_json_kv(out, "wall_seconds", report.wall_seconds);

@@ -37,6 +37,15 @@ struct LoadgenConfig {
   // Every stats_every-th request (per worker stream) is a health probe;
   // 0 disables probes. Probe latencies are excluded from the percentiles.
   std::size_t stats_every = 64;
+
+  // Hardened-client knobs (ClientRetryPolicy). With max_retries == 0 and
+  // deadline_ms == 0 workers use the bare request() path — the historical
+  // behaviour, where a lost connection fails the run. With retries the run
+  // rides out daemon restarts (chaos_smoke.sh depends on this).
+  unsigned max_retries = 0;
+  std::uint64_t deadline_ms = 0;
+  std::uint64_t backoff_base_ms = 10;
+  std::uint64_t backoff_cap_ms = 1000;
 };
 
 struct LoadgenReport {
@@ -46,7 +55,11 @@ struct LoadgenReport {
   std::size_t cold = 0;
   std::size_t cache_hits = 0;
   std::size_t coalesced = 0;
+  std::size_t disk_hits = 0;  // served from the durable on-disk tier
   std::size_t stats_probes = 0;
+  // Hardened-client telemetry (zero on the bare request() path).
+  std::size_t retries = 0;
+  std::size_t reconnects = 0;
   // Frame digest != local FNV-1a of the artifact bytes.
   std::size_t digest_mismatches = 0;
   // Artifact bytes differ from an earlier response for the same cache key.

@@ -9,8 +9,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <iterator>
+#include <thread>
 
 #include "bcc/checkpoint.h"
 #include "common/errors.h"
@@ -29,7 +32,10 @@ std::string errno_text(const char* what) {
 ServeServer::ServeServer(ServeConfig config)
     : config_(std::move(config)),
       runner_(config_.threads),
-      cache_(resolve_cache_budget(config_.cache_budget_bytes)) {}
+      cache_(resolve_cache_budget(config_.cache_budget_bytes)),
+      chaos_(config_.faults) {
+  if (!config_.store_dir.empty()) disk_ = std::make_unique<DiskStore>(config_.store_dir);
+}
 
 ServeServer::~ServeServer() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
@@ -152,6 +158,19 @@ std::string ServeServer::render_stats() const {
   line("cache entries", cache.entries);
   line("cache bytes", cache.bytes);
   line("cache budget bytes", cache.budget_bytes);
+  if (disk_ != nullptr) {
+    const DiskStoreStats disk = disk_->stats();
+    line("disk hits", disk.hits);
+    line("disk misses", disk.misses);
+    line("disk writes", disk.writes);
+    line("disk write failures", disk.write_failures);
+    line("disk quarantined", disk.quarantined);
+  }
+  if (config_.faults.enabled()) {
+    line("chaos stalls", chaos_.stalls_injected());
+    line("chaos corrupted responses", chaos_.responses_corrupted());
+    line("chaos corrupted disk entries", chaos_.disk_entries_corrupted());
+  }
   return out;
 }
 
@@ -196,10 +215,21 @@ void ServeServer::process_batch(std::vector<PendingRequest>& batch) {
     if (auto hit = cache_.lookup(batch[i].key)) {
       artifacts[i] = std::move(*hit);
       sources[i] = CacheSource::kHit;
-    } else {
-      miss_indices.push_back(i);
-      miss_keys.push_back(batch[i].key);
+      continue;
     }
+    if (disk_ != nullptr) {
+      // Tier 2: a digest-verified read from the durable store. Warm the
+      // memory tier so later repeats skip the filesystem; a corrupt entry
+      // was quarantined inside lookup() and falls through to a recompute.
+      if (auto stored = disk_->lookup(batch[i].key)) {
+        cache_.insert(batch[i].key, *stored);
+        artifacts[i] = std::move(*stored);
+        sources[i] = CacheSource::kDisk;
+        continue;
+      }
+    }
+    miss_indices.push_back(i);
+    miss_keys.push_back(batch[i].key);
   }
 
   // Distinct misses fan out across the BatchRunner pool; a lone miss keeps
@@ -237,7 +267,14 @@ void ServeServer::process_batch(std::vector<PendingRequest>& batch) {
   }
   for (const std::size_t j : plan.unique) {
     const std::size_t i = miss_indices[j];
-    if (error_codes[i] == StatusCode::kOk) cache_.insert(batch[i].key, artifacts[i]);
+    if (error_codes[i] != StatusCode::kOk) continue;
+    cache_.insert(batch[i].key, artifacts[i]);
+    if (disk_ != nullptr) {
+      disk_->insert(batch[i].key, artifacts[i]);
+      // Injected bit rot lands on the stored copy only; the response built
+      // from memory below stays clean — the *next* daemon must quarantine.
+      if (chaos_.should_corrupt_disk_entry()) disk_->corrupt_entry_for_test(batch[i].key);
+    }
   }
 
   for (std::size_t i = 0; i < count; ++i) {
@@ -246,9 +283,27 @@ void ServeServer::process_batch(std::vector<PendingRequest>& batch) {
       responses_ok_.fetch_add(1, std::memory_order_relaxed);
       frame = encode_ok_frame(batch[i].request.type, sources[i], fnv1a(artifacts[i]),
                               artifacts[i]);
+      // Chaos: flip one byte of the on-wire artifact *after* the digest was
+      // computed — clients must catch this by digest verification, and the
+      // cached/stored copies stay pristine.
+      std::size_t byte_index = 0;
+      unsigned char mask = 0;
+      if (chaos_.corrupt_response(artifacts[i].size(), byte_index, mask)) {
+        frame[kFrameHeaderBytes + 16 + byte_index] =
+            static_cast<char>(static_cast<unsigned char>(frame[kFrameHeaderBytes + 16 + byte_index]) ^ mask);
+      }
     } else {
       compute_failed_.fetch_add(1, std::memory_order_relaxed);
       frame = encode_error_frame(batch[i].request.type, error_codes[i], errors[i]);
+    }
+    if (chaos_.should_crash_before_reply()) {
+      // Crash-before-reply: the work is done (and durable, if a store is
+      // configured) but the client never hears. _Exit skips every
+      // destructor and flush — the closest in-process stand-in for SIGKILL.
+      std::_Exit(137);
+    }
+    if (const std::uint64_t stall = chaos_.stall_for_response()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall));
     }
     push_response(batch[i].conn_id, std::move(frame));
   }
@@ -530,6 +585,10 @@ ServeStats ServeServer::run() {
   stats.stats_probes = stats_probes_.load(std::memory_order_relaxed);
   stats.coalesced = coalesced_.load(std::memory_order_relaxed);
   stats.cache = cache_.stats();
+  if (disk_ != nullptr) stats.disk = disk_->stats();
+  stats.chaos_stalls = chaos_.stalls_injected();
+  stats.chaos_corrupted_responses = chaos_.responses_corrupted();
+  stats.chaos_corrupted_disk = chaos_.disk_entries_corrupted();
   return stats;
 }
 

@@ -38,6 +38,8 @@
 
 #include "bcc/batch_runner.h"
 #include "serve/artifact_cache.h"
+#include "serve/chaos.h"
+#include "serve/disk_store.h"
 #include "serve/wire.h"
 
 namespace bcclb {
@@ -58,6 +60,13 @@ struct ServeConfig {
   std::size_t max_connections = 256;
   // Artifact cache budget; 0 defers to BCCLB_MEM_BUDGET, then 64 MiB.
   std::uint64_t cache_budget_bytes = 0;
+  // Durable on-disk artifact tier (tier 2 behind the in-memory cache). Empty
+  // disables it; non-empty makes every computed artifact crash-durable and
+  // warms restarts with byte-identical (digest-proven) responses.
+  std::string store_dir;
+  // Deterministic chaos schedule (BCCLB_SERVE_FAULTS via the CLI, or set
+  // directly by tests). Default-constructed = no faults.
+  ServeFaultPlan faults;
   // Polled by the I/O loop (the CLI points this at its SIGINT/SIGTERM flag);
   // non-zero triggers the drain sequence.
   const volatile std::sig_atomic_t* drain_flag = nullptr;
@@ -79,6 +88,10 @@ struct ServeStats {
   std::uint64_t stats_probes = 0;
   std::uint64_t coalesced = 0;  // requests served by sharing a concurrent build
   CacheStats cache;
+  DiskStoreStats disk;          // zeros when the disk tier is disabled
+  std::uint64_t chaos_stalls = 0;
+  std::uint64_t chaos_corrupted_responses = 0;
+  std::uint64_t chaos_corrupted_disk = 0;
 };
 
 class ServeServer {
@@ -107,6 +120,10 @@ class ServeServer {
 
   // The stats/health artifact (also what a kStats request returns).
   std::string render_stats() const;
+
+  // The durable tier, or nullptr when disabled (tests corrupt entries
+  // through it to prove the quarantine path end-to-end).
+  DiskStore* disk_store() { return disk_.get(); }
 
  private:
   struct Connection {
@@ -143,6 +160,8 @@ class ServeServer {
   ServeConfig config_;
   BatchRunner runner_;
   ArtifactCache cache_;
+  std::unique_ptr<DiskStore> disk_;  // tier 2; null when store_dir is empty
+  ServeFaultInjector chaos_;
 
   int listen_fd_ = -1;
   int wake_r_ = -1, wake_w_ = -1;

@@ -72,6 +72,16 @@ const char* request_type_name(RequestType type) {
   return "?";
 }
 
+const char* cache_source_name(CacheSource source) {
+  switch (source) {
+    case CacheSource::kCold: return "cold";
+    case CacheSource::kHit: return "hit";
+    case CacheSource::kCoalesced: return "coalesced";
+    case CacheSource::kDisk: return "disk";
+  }
+  return "?";
+}
+
 const char* status_code_name(StatusCode code) {
   switch (code) {
     case StatusCode::kOk: return "ok";

@@ -66,9 +66,12 @@ const char* status_code_name(StatusCode code);
 // Where an OK response's artifact came from.
 enum class CacheSource : std::uint8_t {
   kCold = 0,       // built for this request
-  kHit = 1,        // served from the artifact cache (digest re-verified)
+  kHit = 1,        // served from the in-memory artifact cache (digest re-verified)
   kCoalesced = 2,  // shared a concurrent identical request's build
+  kDisk = 3,       // warmed from the durable on-disk tier (digest re-verified)
 };
+
+const char* cache_source_name(CacheSource source);
 
 // A decoded request. Fields beyond `type` are meaningful per type:
 //   kClassify    — n, packed (successor word)

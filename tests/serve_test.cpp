@@ -10,19 +10,26 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <typeinfo>
 #include <vector>
 
 #include "bcc/checkpoint.h"
 #include "common/errors.h"
+#include "common/random.h"
 #include "serve/artifact_cache.h"
+#include "serve/chaos.h"
 #include "serve/client.h"
+#include "serve/disk_store.h"
 #include "serve/handlers.h"
 #include "serve/loadgen.h"
 #include "serve/server.h"
@@ -361,6 +368,82 @@ TEST(ServeErrors, TaxonomyKindsAndTransience) {
   EXPECT_NE(dynamic_cast<const BcclbError*>(as_base), nullptr);
 }
 
+TEST(ServeErrors, ClientTaxonomyKindsAndTransience) {
+  const ClientTimeoutError timeout("t");
+  EXPECT_STREQ(timeout.kind(), "ClientTimeoutError");
+  EXPECT_TRUE(timeout.transient());  // the retry loop keys off this
+  const ConnectionLostError lost("l");
+  EXPECT_STREQ(lost.kind(), "ConnectionLostError");
+  EXPECT_TRUE(lost.transient());
+  const ServerReportedError reported("r", static_cast<std::uint16_t>(StatusCode::kDraining));
+  EXPECT_STREQ(reported.kind(), "ServerReportedError");
+  EXPECT_FALSE(reported.transient());
+  EXPECT_EQ(reported.wire_status(), static_cast<std::uint16_t>(StatusCode::kDraining));
+  // All three are catchable as ServeClientError and as ServeError.
+  const ServeClientError* as_client = &timeout;
+  EXPECT_NE(dynamic_cast<const ServeError*>(as_client), nullptr);
+}
+
+// ---- decode fuzz -----------------------------------------------------------
+
+// Seeded mutation fuzz over the client-side decode path: truncations, bit
+// flips in header and payload, and oversized length fields must either decode
+// (possibly to junk a digest check would catch) or throw exactly
+// ProtocolViolationError — never another exception type, never a crash.
+TEST(WireFuzz, MutatedFramesOnlyEverThrowProtocolViolation) {
+  std::vector<std::string> corpus;
+  corpus.push_back(encode_request_frame(classify_request(6, ring_word(6))));
+  corpus.push_back(encode_request_frame(indist_request(7)));
+  corpus.push_back(encode_request_frame(rank_request('E', 8)));
+  corpus.push_back(encode_request_frame(sim_implicit_request(1, 100, 2019)));
+  const std::string artifact = "rank M_5 ...\nfull rank = yes\n";
+  corpus.push_back(
+      encode_ok_frame(RequestType::kRank, CacheSource::kCold, fnv1a(artifact), artifact));
+  corpus.push_back(
+      encode_error_frame(RequestType::kInfo, StatusCode::kQueueFull, "admission queue full"));
+
+  Rng rng(0xf0a22edULL);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string frame = corpus[rng.next_below(corpus.size())];
+    switch (rng.next_below(3)) {
+      case 0:  // truncate anywhere, including inside the header
+        frame.resize(rng.next_below(frame.size() + 1));
+        break;
+      case 1: {  // flip one bit anywhere
+        if (!frame.empty()) {
+          frame[rng.next_below(frame.size())] ^=
+              static_cast<char>(1u << rng.next_below(8));
+        }
+        break;
+      }
+      default: {  // oversize or shrink the length field
+        if (frame.size() >= kFrameHeaderBytes) {
+          const std::uint32_t bogus = static_cast<std::uint32_t>(rng.next_u64());
+          for (int i = 0; i < 4; ++i) {
+            frame[8 + i] = static_cast<char>((bogus >> (8 * i)) & 0xff);
+          }
+        }
+        break;
+      }
+    }
+    try {
+      const FrameHeader header = decode_frame_header(frame);
+      std::string_view payload = std::string_view(frame).substr(
+          std::min<std::size_t>(kFrameHeaderBytes, frame.size()));
+      payload = payload.substr(0, std::min<std::size_t>(payload.size(), header.payload_len));
+      if (rng.next_bool()) {
+        decode_request(header.type, payload);
+      } else {
+        decode_response(header, payload);
+      }
+    } catch (const ProtocolViolationError&) {
+      // The one acceptable outcome for malformed bytes.
+    } catch (const std::exception& e) {
+      FAIL() << "iteration " << iter << " threw " << typeid(e).name() << ": " << e.what();
+    }
+  }
+}
+
 // ---- end-to-end server ----------------------------------------------------
 
 TEST(ServeServer, AnswersAndCachesWithByteIdenticalRepeats) {
@@ -598,6 +681,207 @@ TEST(ServeServer, UnixSocketReclaimsStaleFilesAndRefusesLiveOnes) {
   EXPECT_NE(::access(path.c_str(), F_OK), 0);
 }
 
+// ---- durable tier + hardened client ---------------------------------------
+
+// Fresh store directory per test, removed on destruction.
+struct TempStoreDir {
+  std::string path;
+  TempStoreDir() {
+    char tmpl[] = "/tmp/bcclb_serve_store_XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    EXPECT_NE(made, nullptr);
+    path = made != nullptr ? made : "";
+  }
+  ~TempStoreDir() {
+    if (path.empty()) return;
+    const std::string cleanup = "rm -rf '" + path + "'";
+    [[maybe_unused]] const int rc = std::system(cleanup.c_str());
+  }
+};
+
+TEST(ServeServer, RestartWarmsFromDiskWithByteIdenticalResponses) {
+  TempStoreDir store;
+  const Request request = rank_request('M', 6);
+  std::string cold_artifact;
+  std::uint64_t cold_digest = 0;
+  {
+    ServeConfig config;
+    config.store_dir = store.path;
+    RunningServer running(std::move(config));
+    ServeClient client = running.connect();
+    const Response cold = client.request(request);
+    ASSERT_EQ(cold.status, StatusCode::kOk);
+    EXPECT_EQ(cold.source, CacheSource::kCold);
+    cold_artifact = cold.artifact;
+    cold_digest = cold.digest;
+    const ServeStats stats = running.stop();
+    EXPECT_EQ(stats.disk.writes, 1u);
+  }
+  // A brand-new daemon over the same store: the memory cache is empty, but
+  // the first request is served from disk, byte-identical, digest-proven.
+  ServeConfig config;
+  config.store_dir = store.path;
+  RunningServer running(std::move(config));
+  ServeClient client = running.connect();
+  const Response warm = client.request(request);
+  ASSERT_EQ(warm.status, StatusCode::kOk);
+  EXPECT_EQ(warm.source, CacheSource::kDisk);
+  EXPECT_EQ(warm.artifact, cold_artifact);
+  EXPECT_EQ(warm.digest, cold_digest);
+  // The disk hit filled tier 1: the next repeat is a plain memory hit.
+  const Response hot = client.request(request);
+  EXPECT_EQ(hot.source, CacheSource::kHit);
+  EXPECT_EQ(hot.artifact, cold_artifact);
+  const ServeStats stats = running.stop();
+  EXPECT_EQ(stats.disk.hits, 1u);
+  EXPECT_EQ(stats.disk.quarantined, 0u);
+}
+
+TEST(ServeServer, CorruptDiskEntryIsQuarantinedAndRecomputedEndToEnd) {
+  TempStoreDir store;
+  const Request request = rank_request('M', 5);
+  ServeConfig config;
+  config.store_dir = store.path;
+  config.cache_budget_bytes = 1;  // tier 1 keeps nothing: every hit is disk's
+  RunningServer running(std::move(config));
+  ServeClient client = running.connect();
+
+  const Response cold = client.request(request);
+  ASSERT_EQ(cold.status, StatusCode::kOk);
+  ASSERT_NE(running.server().disk_store(), nullptr);
+  ASSERT_TRUE(running.server().disk_store()->corrupt_entry_for_test(
+      request_cache_key(request)));
+
+  // The rotted entry must not be served: the daemon quarantines, recomputes,
+  // and the client still gets the exact bytes of the original build.
+  const Response recomputed = client.request(request);
+  ASSERT_EQ(recomputed.status, StatusCode::kOk);
+  EXPECT_EQ(recomputed.source, CacheSource::kCold);
+  EXPECT_EQ(recomputed.artifact, cold.artifact);
+  EXPECT_EQ(recomputed.digest, cold.digest);
+
+  const ServeStats stats = running.stop();
+  EXPECT_EQ(stats.disk.quarantined, 1u);
+  EXPECT_GE(stats.disk.writes, 2u);  // original + recompute
+}
+
+TEST(ServeClient, DeadlineExpiryThrowsTypedTimeout) {
+  SchedulerHold hold;
+  ServeConfig config;
+  config.test_hold = hold.hook();
+  RunningServer running(std::move(config));
+  ServeClient client = running.connect();
+
+  // Park the scheduler so no response can arrive, then require one in 50 ms.
+  client.send_frame(rank_request('M', 4));
+  hold.wait_until_held();
+  ClientRetryPolicy policy;
+  policy.deadline_ms = 50;
+  EXPECT_THROW(client.request_with_retry(rank_request('M', 5), policy), ClientTimeoutError);
+  EXPECT_FALSE(client.connected());  // the poisoned stream was dropped
+  hold.release();
+}
+
+TEST(ServeClient, ReconnectOnEofRidesOutADaemonRestart) {
+  TempStoreDir store;
+  const std::string path =
+      "/tmp/bcclb_serve_retry_" + std::to_string(::getpid()) + ".sock";
+  const Request request = rank_request('E', 6);
+  std::string first_artifact;
+  ServeConfig config;
+  config.unix_path = path;
+  config.store_dir = store.path;
+  auto running = std::make_unique<RunningServer>(std::move(config));
+  ServeClient client = ServeClient::connect_unix(path);
+  {
+    const Response first = client.request(request);
+    ASSERT_EQ(first.status, StatusCode::kOk);
+    first_artifact = first.artifact;
+  }
+  // Kill the daemon (drain closes every connection and the socket), then
+  // bring up a fresh one on the same endpoint and store. Destroy the old
+  // instance first so its teardown cannot race the new bind on the path.
+  running->stop();
+  running.reset();
+  ServeConfig second;
+  second.unix_path = path;
+  second.store_dir = store.path;
+  running = std::make_unique<RunningServer>(std::move(second));
+
+  // The client still holds the dead connection. The hardened path notices
+  // (EOF / reset), reconnects to the remembered endpoint, and the new daemon
+  // answers from the durable tier with the same bytes.
+  ClientRetryPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_base_ms = 1;
+  policy.backoff_cap_ms = 8;
+  const RetryOutcome outcome = client.request_with_retry(request, policy);
+  ASSERT_EQ(outcome.response.status, StatusCode::kOk);
+  EXPECT_EQ(outcome.response.source, CacheSource::kDisk);
+  EXPECT_EQ(outcome.response.artifact, first_artifact);
+  EXPECT_GE(outcome.retries, 1u);
+  EXPECT_GE(outcome.reconnects, 1u);
+  running->stop();
+}
+
+TEST(ServeClient, RetryBudgetExhaustionThrowsTheLastError) {
+  // The remembered endpoint dies with its server: every reconnect attempt
+  // is refused, so the retry budget drains and the last typed error escapes.
+  ServeClient client = [] {
+    RunningServer running({});
+    return running.connect();
+  }();
+  client.close();
+  ClientRetryPolicy policy;
+  policy.max_retries = 2;
+  policy.backoff_base_ms = 1;
+  policy.backoff_cap_ms = 4;
+  EXPECT_THROW(client.request_with_retry(rank_request('M', 4), policy), ConnectionLostError);
+}
+
+TEST(ServeServer, ChaosCorruptedResponseIsCaughtByDigestNotByCache) {
+  ServeConfig config;
+  config.faults.seed = 7;
+  config.faults.corrupt_response_every = 1;  // every scheduled OK response
+  RunningServer running(std::move(config));
+  ServeClient client = running.connect();
+  const Request request = rank_request('M', 5);
+
+  // The wire copy is corrupted after the digest was computed: the frame
+  // decodes, but local re-hashing exposes the flip — exactly what loadgen's
+  // digest_mismatches counter is for.
+  const Response corrupted = client.request(request);
+  ASSERT_EQ(corrupted.status, StatusCode::kOk);
+  EXPECT_NE(fnv1a(corrupted.artifact), corrupted.digest);
+
+  // The cache itself stays pristine (corruption is injected on the response
+  // path, not the stored artifact), so the hit is corrupted independently —
+  // and the underlying artifact digest still matches across serves.
+  const Response hit = client.request(request);
+  ASSERT_EQ(hit.status, StatusCode::kOk);
+  EXPECT_EQ(hit.source, CacheSource::kHit);
+  EXPECT_EQ(hit.digest, corrupted.digest);
+
+  const ServeStats stats = running.stop();
+  EXPECT_EQ(stats.chaos_corrupted_responses, 2u);
+  EXPECT_EQ(stats.cache.verify_failures, 0u);
+}
+
+TEST(ServeServer, ChaosStallDelaysScheduledResponses) {
+  ServeConfig config;
+  config.faults.stall_every = 1;
+  config.faults.stall_ms = 30;
+  RunningServer running(std::move(config));
+  ServeClient client = running.connect();
+  const auto t0 = std::chrono::steady_clock::now();
+  const Response response = client.request(rank_request('M', 4));
+  const double ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  ASSERT_EQ(response.status, StatusCode::kOk);
+  EXPECT_GE(ms, 30.0);
+  EXPECT_EQ(running.stop().chaos_stalls, 1u);
+}
+
 // ---- loadgen ---------------------------------------------------------------
 
 TEST(Loadgen, RequestPoolIsSeedDeterministicAndDistinct) {
@@ -641,7 +925,8 @@ TEST(Loadgen, EndToEndRunIsCleanAndReportsGateableJson) {
   for (const char* needle :
        {"\"serve/latency_p50\"", "\"serve/latency_p95\"", "\"serve/latency_p99\"",
         "\"serve/cold_p50\"", "\"serve/warm_p50\"", "\"cpu_time\"", "\"time_unit\": \"ms\"",
-        "\"cache_hits\"", "\"throughput_rps\""}) {
+        "\"cache_hits\"", "\"disk_hits\"", "\"retries\"", "\"reconnects\"",
+        "\"throughput_rps\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
 }

@@ -398,12 +398,19 @@ int cmd_serve(int argc, char** argv) {
       const auto cap = parse_size(value);
       if (!cap || *cap == 0) return usage();
       config.max_connections = *cap;
+    } else if (flag == "--store" && value != nullptr && *value != '\0') {
+      config.store_dir = value;
     } else {
       return usage();
     }
     ++i;  // every flag consumed a value
   }
   if (!have_endpoint) return usage();
+
+  // Deterministic fault injection, chaos-harness only. Strict like every
+  // other env override: a malformed spec is a loud startup failure, never a
+  // silently fault-free run.
+  if (const auto faults = serve_fault_plan_from_env()) config.faults = *faults;
 
   std::signal(SIGINT, on_campaign_signal);
   std::signal(SIGTERM, on_campaign_signal);
@@ -433,6 +440,22 @@ int cmd_serve(int argc, char** argv) {
               static_cast<unsigned long long>(stats.cache.evictions),
               static_cast<unsigned long long>(stats.cache.verify_failures),
               static_cast<unsigned long long>(stats.coalesced));
+  if (server.disk_store() != nullptr) {
+    std::printf("  disk: %llu hits, %llu misses, %llu writes, %llu write-failures, "
+                "%llu quarantined\n",
+                static_cast<unsigned long long>(stats.disk.hits),
+                static_cast<unsigned long long>(stats.disk.misses),
+                static_cast<unsigned long long>(stats.disk.writes),
+                static_cast<unsigned long long>(stats.disk.write_failures),
+                static_cast<unsigned long long>(stats.disk.quarantined));
+  }
+  if (stats.chaos_stalls != 0 || stats.chaos_corrupted_responses != 0 ||
+      stats.chaos_corrupted_disk != 0) {
+    std::printf("  chaos: %llu stalls, %llu corrupted responses, %llu corrupted disk entries\n",
+                static_cast<unsigned long long>(stats.chaos_stalls),
+                static_cast<unsigned long long>(stats.chaos_corrupted_responses),
+                static_cast<unsigned long long>(stats.chaos_corrupted_disk));
+  }
   return 0;
 }
 
@@ -475,6 +498,18 @@ int cmd_loadgen(int argc, char** argv) {
       const auto every = parse_size(value);
       if (!every) return usage();
       config.stats_every = *every;
+    } else if (flag == "--retries" && value != nullptr) {
+      const auto retries = parse_unsigned(value);
+      if (!retries) return usage();
+      config.max_retries = *retries;
+    } else if (flag == "--deadline-ms" && value != nullptr) {
+      const auto deadline = parse_u64(value);
+      if (!deadline) return usage();
+      config.deadline_ms = *deadline;
+    } else if (flag == "--backoff-ms" && value != nullptr) {
+      const auto backoff = parse_u64(value);
+      if (!backoff || *backoff == 0) return usage();
+      config.backoff_base_ms = *backoff;
     } else if (flag == "--json" && value != nullptr && *value != '\0') {
       json_path = value;
     } else {
@@ -500,9 +535,11 @@ int cmd_loadgen(int argc, char** argv) {
 
   std::fprintf(stderr, "loadgen: %zu requests in %.3f s (%.1f rps)\n", report.requests_sent,
                report.wall_seconds, report.throughput_rps);
-  std::fprintf(stderr, "  ok %zu, errors %zu, probes %zu | cold %zu, hits %zu, coalesced %zu\n",
+  std::fprintf(stderr,
+               "  ok %zu, errors %zu, probes %zu | cold %zu, hits %zu, coalesced %zu, "
+               "disk %zu | retries %zu, reconnects %zu\n",
                report.ok, report.errors, report.stats_probes, report.cold, report.cache_hits,
-               report.coalesced);
+               report.coalesced, report.disk_hits, report.retries, report.reconnects);
   std::fprintf(stderr, "  p50 %.3f ms, p95 %.3f ms, p99 %.3f ms (cold p50 %.3f, warm p50 %.3f)\n",
                report.p50_ms, report.p95_ms, report.p99_ms, report.cold_p50_ms,
                report.warm_p50_ms);
@@ -644,15 +681,17 @@ int usage() {
                "  sim     --implicit [--family F] [--n N] [--seed S] [--bandwidth B]\n"
                "          [--threads N] [--cycles K] [--digest]\n"
                "  serve   (--socket <path> | --port <p>) [--threads N] [--queue N]\n"
-               "          [--cache-budget <bytes>] [--max-connections N]\n"
+               "          [--cache-budget <bytes>] [--max-connections N] [--store <dir>]\n"
                "  loadgen (--socket <path> | --port <p>) [--requests N] [--concurrency N]\n"
                "          [--seed S] [--pool N] [--max-n N] [--stats-every N] [--json <path>]\n"
+               "          [--retries N] [--deadline-ms MS] [--backoff-ms MS]\n"
                "  version\n"
                "adversaries: silent id-bits hashed-id coin-xor-id port-parity echo state-hash\n"
                "families: one-cycle two-cycle multi-cycle random-regular\n"
                "numeric arguments must be whole in-range numbers\n"
                "campaign honours BCCLB_THREADS and BCCLB_MEM_BUDGET (bytes, K/M/G suffix);\n"
-               "serve honours BCCLB_MEM_BUDGET for the artifact cache;\n"
+               "serve honours BCCLB_MEM_BUDGET for the artifact cache and BCCLB_SERVE_FAULTS\n"
+               "  for deterministic chaos injection (see DESIGN.md §8);\n"
                "sim honours BCCLB_SIM_N, BCCLB_SIM_SEED, BCCLB_SIM_FAMILY (flags override)\n");
   return 2;
 }
