@@ -41,41 +41,8 @@ SOCK="$WORK/bccd.sock"
 STORE="$WORK/store"
 SEED=7
 
-# Bounded wait for a line in a log; fails loudly on death or timeout.
-wait_for_line() {
-  local pid="$1" log="$2" needle="$3" timeout_s="${4:-30}"
-  local deadline=$((10 * timeout_s)) i
-  for ((i = 0; i < deadline; i++)); do
-    grep -q "$needle" "$log" 2>/dev/null && return 0
-    if ! kill -0 "$pid" 2>/dev/null; then
-      echo "FAIL: process $pid died before printing '$needle'" >&2
-      cat "$log" >&2
-      return 1
-    fi
-    sleep 0.1
-  done
-  echo "FAIL: timed out after ${timeout_s}s waiting for '$needle'" >&2
-  cat "$log" >&2
-  return 1
-}
-
-# Bounded wait for exit; exit code in WAIT_RC. Must run in the main shell.
-WAIT_RC=0
-wait_for_exit() {
-  local pid="$1" timeout_s="${2:-60}"
-  local deadline=$((10 * timeout_s)) i
-  for ((i = 0; i < deadline; i++)); do
-    if ! kill -0 "$pid" 2>/dev/null; then
-      WAIT_RC=0
-      wait "$pid" || WAIT_RC=$?
-      return 0
-    fi
-    sleep 0.1
-  done
-  echo "FAIL: process $pid still alive after ${timeout_s}s" >&2
-  kill -9 "$pid" 2>/dev/null || true
-  return 1
-}
+# wait_for_line / wait_for_exit (WAIT_RC) / assert_json
+. "$(dirname "$0")/smoke_lib.sh"
 
 start_daemon() {
   local log="$1"; shift
@@ -94,17 +61,6 @@ drain_daemon() {
     cat "$log" >&2
     exit 1
   fi
-}
-
-# serve-section assertion helper: assert_json <json> <python-expr over s>
-assert_json() {
-  python3 - "$1" "$2" <<'PY'
-import json, sys
-s = json.load(open(sys.argv[1]))["serve"]
-if not eval(sys.argv[2], {}, {"s": s}):
-    print(f"FAIL: assertion '{sys.argv[2]}' over serve section: {s}", file=sys.stderr)
-    sys.exit(1)
-PY
 }
 
 echo "== phase A: warm the durable store"

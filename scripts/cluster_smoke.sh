@@ -1,0 +1,182 @@
+#!/usr/bin/env bash
+# Cluster smoke test: prove the bccr fleet story end to end.
+#
+#   Phase A (warm):     start three bccd backends and a bccr router on Unix
+#                       sockets, replay a seeded skewed mix through the
+#                       router, assert a clean report (zero errors, zero
+#                       digest/byte mismatches).
+#   Phase B (SIGKILL):  launch a long retrying `loadgen --router` run and
+#                       SIGKILL one backend mid-load. The run must finish
+#                       with exit 0, zero client-visible errors and zero
+#                       byte-identity mismatches — the router detected the
+#                       death, opened the dead shard's circuit (probe shows
+#                       opened > 0) and routed its keys to the survivors
+#                       (failovers > 0).
+#   Phase C (recovery): restart the killed backend on the same socket and
+#                       wait for the router's half-open probe to re-admit it
+#                       (probe shows state=closed, readmitted > 0).
+#   Phase D (drain):    SIGTERM the router; it must exit 0 with the drained
+#                       summary, then the backends drain cleanly too.
+#
+# Run against a sanitized binary by passing its path:
+#   scripts/cluster_smoke.sh build-san-address-undefined/tools/bcclb
+#
+# Usage: scripts/cluster_smoke.sh [path-to-bcclb]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BCCLB="${1:-./build/tools/bcclb}"
+[ -x "$BCCLB" ] || { echo "error: $BCCLB not built" >&2; exit 2; }
+
+WORK="$(mktemp -d)"
+backend_pids=("" "" "")
+router_pid=""
+loadgen_pid=""
+cleanup() {
+  local pid
+  for pid in "${backend_pids[@]}" "$router_pid" "$loadgen_pid"; do
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+ROUTER_SOCK="$WORK/bccr.sock"
+SEED=13
+
+# wait_for_line / wait_for_exit (WAIT_RC) / assert_json
+. "$(dirname "$0")/smoke_lib.sh"
+
+start_backend() {
+  local id="$1" log="$WORK/backend_$1.log"
+  "$BCCLB" serve --socket "$WORK/bccd_$id.sock" >"$log" 2>&1 &
+  backend_pids[$id]=$!
+  wait_for_line "${backend_pids[$id]}" "$log" "bccd listening on" 30
+}
+
+# Greps one "name = value" counter out of a router probe dump.
+probe_counter() {
+  "$BCCLB" probe --socket "$ROUTER_SOCK" | awk -F' = ' -v k="$1" '$1 == k { print $2 }'
+}
+
+echo "== phase A: 3 backends + router, warm skewed pass"
+for id in 0 1 2; do start_backend "$id"; done
+"$BCCLB" route --socket "$ROUTER_SOCK" \
+  --backend "unix:$WORK/bccd_0.sock" \
+  --backend "unix:$WORK/bccd_1.sock" \
+  --backend "unix:$WORK/bccd_2.sock" \
+  --fail-threshold 3 --open-ms 500 --probe-interval-ms 100 --seed "$SEED" \
+  >"$WORK/router.log" 2>&1 &
+router_pid=$!
+wait_for_line "$router_pid" "$WORK/router.log" "bccr listening on .* across 3 backend" 30
+
+"$BCCLB" loadgen --socket "$ROUTER_SOCK" --router --requests 400 --concurrency 4 \
+  --seed "$SEED" --zipf 1.2 --retries 10 --backoff-ms 10 \
+  --json "$WORK/warm.json" 2>"$WORK/warm.log"
+assert_json "$WORK/warm.json" "s['errors'] == 0"
+assert_json "$WORK/warm.json" "s['byte_mismatches'] == 0 and s['digest_mismatches'] == 0"
+# The router fans the pool out across shards: every backend saw traffic.
+for id in 0 1 2; do
+  routed=$("$BCCLB" probe --socket "$ROUTER_SOCK" |
+    grep -E "^backend $id " | grep -o 'routed=[0-9]*' | cut -d= -f2)
+  [ "${routed:-0}" -gt 0 ] || {
+    echo "FAIL: backend $id routed nothing in the warm pass" >&2
+    "$BCCLB" probe --socket "$ROUTER_SOCK" >&2 || true
+    exit 1
+  }
+done
+echo "   warm pass clean across all 3 shards"
+
+echo "== phase B: SIGKILL backend 1 mid-load; the fleet must absorb it"
+"$BCCLB" loadgen --socket "$ROUTER_SOCK" --router --requests 30000 --concurrency 4 \
+  --seed "$SEED" --zipf 1.2 --retries 25 --backoff-ms 20 \
+  --json "$WORK/kill.json" 2>"$WORK/kill.log" &
+loadgen_pid=$!
+sleep 0.4
+kill -9 "${backend_pids[1]}"
+wait_for_exit "${backend_pids[1]}" 10
+backend_pids[1]=""
+[ "$WAIT_RC" -eq 137 ] || { echo "FAIL: SIGKILLed backend exited $WAIT_RC, expected 137" >&2; exit 1; }
+wait_for_exit "$loadgen_pid" 180
+loadgen_pid=""
+if [ "$WAIT_RC" -ne 0 ]; then
+  echo "FAIL: loadgen --router exited $WAIT_RC across the backend kill" >&2
+  cat "$WORK/kill.log" >&2
+  exit 1
+fi
+# Zero client-visible errors and byte-identity across the failover: the
+# routed answer for a key must be the same bytes no matter which shard built
+# it.
+assert_json "$WORK/kill.json" "s['errors'] == 0"
+assert_json "$WORK/kill.json" "s['byte_mismatches'] == 0 and s['digest_mismatches'] == 0"
+
+failovers=$(probe_counter "failovers")
+[ "${failovers:-0}" -gt 0 ] || {
+  echo "FAIL: router reported no failovers after a shard died" >&2
+  "$BCCLB" probe --socket "$ROUTER_SOCK" >&2 || true
+  exit 1
+}
+dead_opened=$("$BCCLB" probe --socket "$ROUTER_SOCK" |
+  grep -E "^backend 1 " | grep -o 'opened=[0-9]*' | cut -d= -f2)
+[ "${dead_opened:-0}" -gt 0 ] || {
+  echo "FAIL: dead shard's circuit never opened" >&2
+  "$BCCLB" probe --socket "$ROUTER_SOCK" >&2 || true
+  exit 1
+}
+echo "   survived SIGKILL: failovers=$failovers, dead shard opened=$dead_opened times"
+
+echo "== phase C: restart backend 1; half-open probe must re-admit it"
+start_backend 1
+readmitted=0
+for _ in $(seq 1 100); do
+  line=$("$BCCLB" probe --socket "$ROUTER_SOCK" | grep -E "^backend 1 " || true)
+  if echo "$line" | grep -q "state=closed" &&
+     [ "$(echo "$line" | grep -o 'readmitted=[0-9]*' | cut -d= -f2)" -gt 0 ]; then
+    readmitted=1
+    break
+  fi
+  sleep 0.1
+done
+[ "$readmitted" -eq 1 ] || {
+  echo "FAIL: restarted shard was never re-admitted" >&2
+  "$BCCLB" probe --socket "$ROUTER_SOCK" >&2 || true
+  exit 1
+}
+# And it takes traffic again: its routed counter grows under fresh load.
+before=$("$BCCLB" probe --socket "$ROUTER_SOCK" |
+  grep -E "^backend 1 " | grep -o 'routed=[0-9]*' | cut -d= -f2)
+"$BCCLB" loadgen --socket "$ROUTER_SOCK" --router --requests 200 --concurrency 4 \
+  --seed "$SEED" --retries 10 --backoff-ms 10 --json "$WORK/after.json" 2>"$WORK/after.log"
+assert_json "$WORK/after.json" "s['errors'] == 0 and s['byte_mismatches'] == 0"
+after=$("$BCCLB" probe --socket "$ROUTER_SOCK" |
+  grep -E "^backend 1 " | grep -o 'routed=[0-9]*' | cut -d= -f2)
+[ "${after:-0}" -gt "${before:-0}" ] || {
+  echo "FAIL: re-admitted shard took no traffic ($before -> $after)" >&2
+  exit 1
+}
+echo "   shard re-admitted and serving again ($before -> $after routed)"
+
+echo "== phase D: SIGTERM drains the router, then the backends"
+kill -TERM "$router_pid"
+wait_for_exit "$router_pid" 60
+rc="$WAIT_RC"
+router_pid=""
+[ "$rc" -eq 0 ] || {
+  echo "FAIL: router exited $rc on SIGTERM, expected 0" >&2
+  cat "$WORK/router.log" >&2
+  exit 1
+}
+grep -q "bccr drained" "$WORK/router.log" || {
+  echo "FAIL: drained router did not print its summary" >&2
+  cat "$WORK/router.log" >&2
+  exit 1
+}
+[ ! -e "$ROUTER_SOCK" ] || { echo "FAIL: router socket left behind after drain" >&2; exit 1; }
+for id in 0 1 2; do
+  kill -TERM "${backend_pids[$id]}"
+  wait_for_exit "${backend_pids[$id]}" 60
+  backend_pids[$id]=""
+  [ "$WAIT_RC" -eq 0 ] || { echo "FAIL: backend $id exited $WAIT_RC on SIGTERM" >&2; exit 1; }
+done
+
+echo "cluster smoke test passed"

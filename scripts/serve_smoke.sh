@@ -32,45 +32,8 @@ trap cleanup EXIT
 
 SOCK="$WORK/bccd.sock"
 
-# Bounded wait for a line to show up in a log file. Polls every 0.1 s up to
-# timeout_s seconds, failing loudly (log dumped to stderr) on daemon death or
-# timeout — CI hangs waiting forever are worse than a clear failure.
-wait_for_line() {
-  local pid="$1" log="$2" needle="$3" timeout_s="${4:-30}"
-  local deadline=$((10 * timeout_s)) i
-  for ((i = 0; i < deadline; i++)); do
-    grep -q "$needle" "$log" 2>/dev/null && return 0
-    if ! kill -0 "$pid" 2>/dev/null; then
-      echo "FAIL: process $pid died before printing '$needle'" >&2
-      cat "$log" >&2
-      return 1
-    fi
-    sleep 0.1
-  done
-  echo "FAIL: timed out after ${timeout_s}s waiting for '$needle'" >&2
-  cat "$log" >&2
-  return 1
-}
-
-# Bounded wait for a process to exit; leaves its exit code in WAIT_RC. Must
-# run in the main shell (wait(1) only knows this shell's children). Kills the
-# process and fails loudly if it is still alive after timeout_s seconds.
-WAIT_RC=0
-wait_for_exit() {
-  local pid="$1" timeout_s="${2:-30}"
-  local deadline=$((10 * timeout_s)) i
-  for ((i = 0; i < deadline; i++)); do
-    if ! kill -0 "$pid" 2>/dev/null; then
-      WAIT_RC=0
-      wait "$pid" || WAIT_RC=$?
-      return 0
-    fi
-    sleep 0.1
-  done
-  echo "FAIL: process $pid still alive after ${timeout_s}s" >&2
-  kill -9 "$pid" 2>/dev/null || true
-  return 1
-}
+# wait_for_line / wait_for_exit (WAIT_RC) / assert_json
+. "$(dirname "$0")/smoke_lib.sh"
 
 echo "== starting daemon on $SOCK"
 "$BCCLB" serve --socket "$SOCK" >"$WORK/daemon.log" 2>&1 &

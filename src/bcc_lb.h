@@ -69,10 +69,12 @@
 #include "partition/sampling.h"                  // IWYU pragma: export
 #include "partition/set_partition.h"             // IWYU pragma: export
 #include "serve/artifact_cache.h"                // IWYU pragma: export
+#include "serve/backend_pool.h"                  // IWYU pragma: export
 #include "serve/chaos.h"                         // IWYU pragma: export
 #include "serve/client.h"                        // IWYU pragma: export
 #include "serve/disk_store.h"                    // IWYU pragma: export
 #include "serve/handlers.h"                      // IWYU pragma: export
 #include "serve/loadgen.h"                       // IWYU pragma: export
+#include "serve/router.h"                        // IWYU pragma: export
 #include "serve/server.h"                        // IWYU pragma: export
 #include "serve/wire.h"                          // IWYU pragma: export

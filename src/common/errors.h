@@ -188,6 +188,18 @@ class DrainingError : public ServeError {
   const char* kind() const noexcept override { return "DrainingError"; }
 };
 
+// The shard router exhausted every backend for a request: each shard was
+// either circuit-open, unreachable, or failed the attempt. Transient by
+// design — a backend coming back (or its circuit half-opening) makes the
+// same request routable again, so clients retry it like QueueFull, and a
+// dead cluster degrades into typed answers instead of hangs.
+class NoBackendError : public ServeError {
+ public:
+  using ServeError::ServeError;
+  const char* kind() const noexcept override { return "NoBackendError"; }
+  bool transient() const noexcept override { return true; }
+};
+
 // ---- Client-side taxonomy (serve/client.h) ----------------------------------
 //
 // The hardened ServeClient distinguishes *how* a round-trip failed so loadgen

@@ -223,17 +223,20 @@ Response ServeClient::request(const Request& req) {
   return read_response_until(0);
 }
 
-RetryOutcome ServeClient::request_with_retry(const Request& req,
-                                             const ClientRetryPolicy& policy) {
-  // Reuse the BatchRunner retry schedule verbatim: base << (k-1) capped, with
+std::uint64_t client_retry_backoff_ns(const ClientRetryPolicy& policy, const Request& request,
+                                      unsigned retry) {
+  // The BatchRunner retry schedule verbatim: base << (k-1) capped, with
   // seeded jitter keyed by (seed, job, attempt). The request's cache key is
   // the job id, so distinct requests de-synchronize instead of thundering.
   BatchPolicy backoff;
   backoff.backoff_base_ns = policy.backoff_base_ms * 1'000'000ULL;
   backoff.backoff_cap_ns = policy.backoff_cap_ms * 1'000'000ULL;
   backoff.backoff_seed = policy.backoff_seed;
-  const std::size_t job = static_cast<std::size_t>(request_cache_key(req));
+  return retry_backoff_ns(backoff, static_cast<std::size_t>(request_cache_key(request)), retry);
+}
 
+RetryOutcome ServeClient::request_with_retry(const Request& req,
+                                             const ClientRetryPolicy& policy) {
   RetryOutcome out;
   for (unsigned attempt = 0;; ++attempt) {
     try {
@@ -246,7 +249,8 @@ RetryOutcome ServeClient::request_with_retry(const Request& req,
       write_all(frame.data(), frame.size(), deadline);
       out.response = read_response_until(deadline);
       const bool retryable_status =
-          out.response.status == StatusCode::kQueueFull && policy.retry_queue_full;
+          (out.response.status == StatusCode::kQueueFull && policy.retry_queue_full) ||
+          (out.response.status == StatusCode::kNoBackend && policy.retry_no_backend);
       if (!retryable_status || attempt >= policy.max_retries) return out;
     } catch (const ClientTimeoutError&) {
       // The stream is poisoned — the late response may still arrive and would
@@ -258,7 +262,7 @@ RetryOutcome ServeClient::request_with_retry(const Request& req,
       if (attempt >= policy.max_retries) throw;
     }
     ++out.retries;
-    const std::uint64_t ns = retry_backoff_ns(backoff, job, attempt + 1);
+    const std::uint64_t ns = client_retry_backoff_ns(policy, req, attempt + 1);
     if (ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
   }
 }

@@ -42,6 +42,10 @@ struct ClientRetryPolicy {
   // Draining is not retried against the same endpoint: this daemon told us
   // it will not admit new work.
   bool retry_queue_full = true;
+  // Retry NoBackend responses from a shard router: every shard was dead or
+  // circuit-open for that attempt, but a backend coming back re-opens the
+  // key range — transient for exactly the same reason QueueFull is.
+  bool retry_no_backend = false;
 };
 
 // One hardened round trip's outcome: the response plus how hard it was to
@@ -113,5 +117,13 @@ class ServeClient {
 // is OK; returns the response otherwise. The seam between "a response came
 // back" and "the query succeeded" for callers that treat errors as fatal.
 const Response& require_ok(const Response& response);
+
+// The exact delay request_with_retry sleeps before retry `retry` (1-based)
+// of `request`: the BatchRunner schedule (base << (retry-1), capped, with
+// seeded jitter) keyed by (backoff_seed, cache key, retry). Pure in its
+// arguments — a fixed backoff_seed reproduces the identical nanosecond
+// schedule on every run, which is what lets chaos scenarios replay.
+std::uint64_t client_retry_backoff_ns(const ClientRetryPolicy& policy, const Request& request,
+                                      unsigned retry);
 
 }  // namespace bcclb

@@ -43,6 +43,8 @@ struct WorkerResult {
   std::size_t cold = 0, hits = 0, coalesced = 0, disk_hits = 0, probes = 0;
   std::size_t retries = 0, reconnects = 0;
   std::size_t digest_mismatches = 0, byte_mismatches = 0;
+  std::size_t decile_requests[10] = {};  // data-path sends by pool-rank decile
+  std::size_t decile_warm[10] = {};      // warm serves (hit/disk/coalesced)
   std::map<std::string, std::uint64_t> error_counts;
   std::string failure;  // non-empty: the worker died (transport error)
 };
@@ -122,6 +124,18 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
   const std::vector<Request> pool = loadgen_request_pool(config);
   const unsigned workers = std::max(1u, config.concurrency);
 
+  // Zipf(s) CDF over pool ranks (rank 0 hottest); empty = uniform picks.
+  std::vector<double> zipf_cdf;
+  if (config.zipf_s > 0.0) {
+    zipf_cdf.resize(pool.size());
+    double total = 0.0;
+    for (std::size_t r = 0; r < pool.size(); ++r) {
+      total += std::pow(static_cast<double>(r + 1), -config.zipf_s);
+      zipf_cdf[r] = total;
+    }
+    for (double& c : zipf_cdf) c /= total;
+  }
+
   // First-seen artifact digest per cache key: byte-identity across repeats.
   std::mutex seen_mutex;
   std::unordered_map<std::uint64_t, std::uint64_t> seen_digests;
@@ -144,6 +158,7 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
         policy.backoff_base_ms = config.backoff_base_ms;
         policy.backoff_cap_ms = config.backoff_cap_ms;
         policy.backoff_seed = config.seed ^ (w + 1);
+        policy.retry_no_backend = config.router;
         // The initial dial gets the same budget as a mid-run reconnect: the
         // daemon may be restarting as the worker comes up (chaos runs).
         ServeClient client = [&] {
@@ -166,11 +181,23 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
         const std::size_t quota = base + (w < config.requests % workers ? 1 : 0);
         for (std::size_t i = 0; i < quota; ++i) {
           Request request;
+          std::size_t decile = 0;
           const bool probe = config.stats_every != 0 && i % config.stats_every == 0 && i > 0;
           if (probe) {
             request.type = RequestType::kStats;
           } else {
-            request = pool[rng.next_below(pool.size())];
+            std::size_t rank;
+            if (!zipf_cdf.empty()) {
+              const double u = rng.next_double();
+              rank = static_cast<std::size_t>(
+                  std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), u) - zipf_cdf.begin());
+              if (rank >= pool.size()) rank = pool.size() - 1;
+            } else {
+              rank = rng.next_below(pool.size());
+            }
+            request = pool[rank];
+            decile = rank * 10 / pool.size();
+            ++res.decile_requests[decile];
           }
           const auto t0 = std::chrono::steady_clock::now();
           Response response;
@@ -205,13 +232,16 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
             case CacheSource::kHit:
               ++res.hits;
               res.warm_ms.push_back(ms);
+              ++res.decile_warm[decile];
               break;
             case CacheSource::kCoalesced:
               ++res.coalesced;
+              ++res.decile_warm[decile];
               break;
             case CacheSource::kDisk:
               ++res.disk_hits;
               res.warm_ms.push_back(ms);  // a disk hit is a warm serve too
+              ++res.decile_warm[decile];
               break;
           }
           {
@@ -236,6 +266,10 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
   }
 
   LoadgenReport report;
+  report.key_deciles.assign(10, {});
+  for (std::size_t r = 0; r < pool.size(); ++r) {
+    ++report.key_deciles[r * 10 / pool.size()].keys;
+  }
   std::vector<double> all, cold, warm;
   for (WorkerResult& res : results) {
     report.requests_sent += res.sent;
@@ -251,6 +285,10 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     report.digest_mismatches += res.digest_mismatches;
     report.byte_mismatches += res.byte_mismatches;
     for (const auto& [name, count] : res.error_counts) report.error_counts[name] += count;
+    for (std::size_t d = 0; d < 10; ++d) {
+      report.key_deciles[d].requests += res.decile_requests[d];
+      report.key_deciles[d].warm += res.decile_warm[d];
+    }
     all.insert(all.end(), res.latencies_ms.begin(), res.latencies_ms.end());
     cold.insert(cold.end(), res.cold_ms.begin(), res.cold_ms.end());
     warm.insert(warm.end(), res.warm_ms.begin(), res.warm_ms.end());
@@ -280,7 +318,13 @@ std::string loadgen_report_json(const LoadgenConfig& config, const LoadgenReport
   out += "    \"requests\": " + std::to_string(config.requests) + ",\n";
   out += "    \"concurrency\": " + std::to_string(config.concurrency) + ",\n";
   out += "    \"seed\": " + std::to_string(config.seed) + ",\n";
-  out += "    \"pool_size\": " + std::to_string(config.pool_size) + "\n  },\n";
+  out += "    \"pool_size\": " + std::to_string(config.pool_size) + ",\n";
+  {
+    char zipf[32];
+    std::snprintf(zipf, sizeof zipf, "%.3f", config.zipf_s);
+    out += std::string("    \"zipf_s\": ") + zipf + ",\n";
+  }
+  out += std::string("    \"router\": ") + (config.router ? "true" : "false") + "\n  },\n";
 
   out += "  \"serve\": {\n";
   const auto counter = [&out](const char* key, std::uint64_t value, bool comma = true) {
@@ -310,7 +354,15 @@ std::string loadgen_report_json(const LoadgenConfig& config, const LoadgenReport
     out += "\"" + name + "\": " + std::to_string(count);
     first = false;
   }
-  out += "}\n  },\n";
+  out += "},\n    \"key_deciles\": [";
+  for (std::size_t d = 0; d < report.key_deciles.size(); ++d) {
+    const LoadgenReport::KeyDecile& decile = report.key_deciles[d];
+    out += d == 0 ? "" : ", ";
+    out += "{\"keys\": " + std::to_string(decile.keys) +
+           ", \"requests\": " + std::to_string(decile.requests) +
+           ", \"warm\": " + std::to_string(decile.warm) + "}";
+  }
+  out += "]\n  },\n";
 
   // Percentiles as non-aggregate benchmark entries with cpu_time ==
   // real_time, so scripts/check_bench.py gates them like any bench_micro row.

@@ -38,6 +38,16 @@ struct LoadgenConfig {
   // 0 disables probes. Probe latencies are excluded from the percentiles.
   std::size_t stats_every = 64;
 
+  // Key skew: 0 = uniform picks over the pool; s > 0 draws pool ranks from a
+  // Zipf(s) distribution (weight of rank r proportional to (r+1)^-s, rank 0
+  // hottest). Seeded like everything else, so a skewed replay is exact.
+  double zipf_s = 0.0;
+
+  // Routed mode: the endpoint is a `bcclb route` front end rather than a
+  // single daemon. NoBackend answers become retryable — the fleet analogue
+  // of QueueFull (a shard coming back re-opens the key range).
+  bool router = false;
+
   // Hardened-client knobs (ClientRetryPolicy). With max_retries == 0 and
   // deadline_ms == 0 workers use the bare request() path — the historical
   // behaviour, where a lost connection fails the run. With retries the run
@@ -72,6 +82,16 @@ struct LoadgenReport {
   double warm_p50_ms = 0.0;  // over cache-hit responses only
 
   std::map<std::string, std::uint64_t> error_counts;  // status name -> count
+
+  // Traffic and warm-serve counts bucketed by pool-rank decile (decile 0 =
+  // the hottest tenth of the pool). Under --zipf the gradient from decile 0
+  // down to 9 is the skew made visible; "warm" counts hit + disk + coalesced.
+  struct KeyDecile {
+    std::size_t keys = 0;      // distinct pool keys in this decile
+    std::size_t requests = 0;  // data-path requests sent for those keys
+    std::size_t warm = 0;      // answered from a warm tier
+  };
+  std::vector<KeyDecile> key_deciles;  // always 10 entries
 };
 
 // The deterministic request pool for a config (exposed for tests).

@@ -91,6 +91,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kDraining: return "draining";
     case StatusCode::kComputeFailed: return "compute-failed";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kNoBackend: return "no-backend";
   }
   return "?";
 }

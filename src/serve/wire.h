@@ -59,6 +59,7 @@ enum class StatusCode : std::uint16_t {
   kDraining = 4,           // DrainingError — daemon is shutting down
   kComputeFailed = 5,      // handler threw a BcclbError (message names kind)
   kInternal = 6,           // anything else; a server bug
+  kNoBackend = 7,          // NoBackendError — router found no live shard
 };
 
 const char* status_code_name(StatusCode code);

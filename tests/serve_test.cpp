@@ -8,14 +8,19 @@
 // the overload and coalescing scenarios deterministic instead of racy.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -23,6 +28,7 @@
 #include <typeinfo>
 #include <vector>
 
+#include "bcc/batch_runner.h"
 #include "bcc/checkpoint.h"
 #include "common/errors.h"
 #include "common/random.h"
@@ -929,6 +935,243 @@ TEST(Loadgen, EndToEndRunIsCleanAndReportsGateableJson) {
         "\"throughput_rps\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
+}
+
+TEST(Loadgen, ZipfSkewIsVisibleInKeyDeciles) {
+  RunningServer running({});
+  LoadgenConfig config;
+  config.tcp_port = running.server().tcp_port();
+  config.requests = 300;
+  config.concurrency = 4;
+  config.seed = 5;
+  config.max_n = 7;
+  config.pool_size = 20;
+  config.stats_every = 0;  // every request is a data-path request
+  config.zipf_s = 1.5;
+
+  const LoadgenReport skewed = run_loadgen(config);
+  ASSERT_EQ(skewed.key_deciles.size(), 10u);
+  std::size_t total_keys = 0, total_requests = 0;
+  for (const auto& d : skewed.key_deciles) {
+    total_keys += d.keys;
+    total_requests += d.requests;
+    EXPECT_LE(d.warm, d.requests);
+  }
+  EXPECT_EQ(total_keys, config.pool_size);   // every pool key lands in a decile
+  EXPECT_EQ(total_requests, config.requests);  // no probe leaks into the buckets
+  // s = 1.5 over 20 keys puts ~63% of the mass on the two hottest ranks —
+  // the head decile must dominate and the tail must be cold.
+  EXPECT_GT(skewed.key_deciles[0].requests, config.requests / 3);
+  EXPECT_GT(skewed.key_deciles[0].requests, 5 * skewed.key_deciles[9].requests);
+
+  // Uniform control with the same seed: the head decile holds nowhere near
+  // a third of the traffic, so the gradient above really is the skew knob.
+  config.zipf_s = 0.0;
+  const LoadgenReport uniform = run_loadgen(config);
+  EXPECT_LT(uniform.key_deciles[0].requests, config.requests / 4);
+
+  const std::string json = loadgen_report_json(config, uniform);
+  EXPECT_NE(json.find("\"key_deciles\""), std::string::npos);
+  EXPECT_NE(json.find("\"zipf_s\""), std::string::npos);
+}
+
+// ---- client retry internals ------------------------------------------------
+
+TEST(ClientRetryBackoff, SeededScheduleReplaysExactly) {
+  ClientRetryPolicy policy;
+  policy.backoff_base_ms = 10;
+  policy.backoff_cap_ms = 500;
+  policy.backoff_seed = 7;
+  const Request request = rank_request('M', 6);
+
+  const auto schedule = [](const ClientRetryPolicy& p, const Request& r) {
+    std::vector<std::uint64_t> out;
+    for (unsigned retry = 1; retry <= 6; ++retry) out.push_back(client_retry_backoff_ns(p, r, retry));
+    return out;
+  };
+
+  // Pure in (policy, request, retry): two computations agree to the nanosecond.
+  const std::vector<std::uint64_t> a = schedule(policy, request);
+  EXPECT_EQ(a, schedule(policy, request));
+
+  // And it is the BatchRunner schedule verbatim, keyed by the cache key —
+  // documented in client.h, depended on by anyone replaying a chaos run.
+  BatchPolicy batch;
+  batch.backoff_base_ns = policy.backoff_base_ms * 1'000'000ULL;
+  batch.backoff_cap_ns = policy.backoff_cap_ms * 1'000'000ULL;
+  batch.backoff_seed = policy.backoff_seed;
+  for (unsigned retry = 1; retry <= 6; ++retry) {
+    EXPECT_EQ(a[retry - 1],
+              retry_backoff_ns(batch, static_cast<std::size_t>(request_cache_key(request)), retry));
+  }
+
+  // The jitter key de-synchronizes both across seeds and across requests.
+  ClientRetryPolicy other_seed = policy;
+  other_seed.backoff_seed = 8;
+  EXPECT_NE(a, schedule(other_seed, request));
+  EXPECT_NE(a, schedule(policy, rank_request('M', 7)));
+
+  // Capped exponential shape: never above the cap, never zero once base > 0.
+  for (const std::uint64_t ns : a) {
+    EXPECT_GT(ns, 0u);
+    EXPECT_LE(ns, policy.backoff_cap_ms * 1'000'000ULL);
+  }
+}
+
+// A scripted fake daemon: a raw TCP listener that answers each decoded
+// request frame with the next action in its script — a typed error frame, an
+// OK frame, or a hard close. This pins down request_with_retry()'s exact
+// budget accounting without racing a real scheduler.
+class ScriptedServer {
+ public:
+  enum class Action { kOk, kQueueFull, kComputeFailed, kClose };
+
+  explicit ScriptedServer(std::vector<Action> script) : script_(std::move(script)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 8) != 0) {
+      ADD_FAILURE() << "scripted listen failed: " << std::strerror(errno);
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { accept_main(); });
+  }
+
+  ~ScriptedServer() {
+    ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks a pending accept()
+    if (thread_.joinable()) thread_.join();
+    ::close(listen_fd_);
+  }
+
+  std::uint16_t port() const { return port_; }
+  unsigned connections_accepted() const { return connections_.load(); }
+
+ private:
+  void accept_main() {
+    while (next_ < script_.size()) {
+      const int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) return;  // listener shut down
+      connections_.fetch_add(1);
+      serve_connection(conn);
+      ::close(conn);
+    }
+  }
+
+  // Reads frames and plays actions until the script says close, the script
+  // runs out, or the client hangs up.
+  void serve_connection(int conn) {
+    while (next_ < script_.size()) {
+      char header_bytes[kFrameHeaderBytes];
+      if (!read_exact(conn, header_bytes, sizeof(header_bytes))) return;
+      FrameHeader header{};
+      try {
+        header = decode_frame_header({header_bytes, sizeof(header_bytes)});
+      } catch (const ProtocolViolationError&) {
+        return;
+      }
+      std::string payload(header.payload_len, '\0');
+      if (header.payload_len > 0 && !read_exact(conn, payload.data(), payload.size())) return;
+      const RequestType type = static_cast<RequestType>(header.type);
+
+      std::string frame;
+      switch (script_[next_++]) {
+        case Action::kOk:
+          frame = encode_ok_frame(type, CacheSource::kCold, fnv1a("scripted"), "scripted");
+          break;
+        case Action::kQueueFull:
+          frame = encode_error_frame(type, StatusCode::kQueueFull, "scripted backpressure");
+          break;
+        case Action::kComputeFailed:
+          frame = encode_error_frame(type, StatusCode::kComputeFailed, "scripted failure");
+          break;
+        case Action::kClose:
+          return;  // caller closes: the client sees EOF mid-exchange
+      }
+      if (!write_all(conn, frame)) return;
+    }
+  }
+
+  static bool read_exact(int fd, char* data, std::size_t size) {
+    std::size_t got = 0;
+    while (got < size) {
+      const ssize_t n = ::recv(fd, data + got, size - got, 0);
+      if (n <= 0) return false;
+      got += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  static bool write_all(int fd, const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  std::vector<Action> script_;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<unsigned> connections_{0};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+TEST(ClientRetry, MixedRetryableSequenceConsumesTheBudgetExactly) {
+  // QueueFull (retryable status), EOF mid-exchange (retryable transport
+  // error), QueueFull again, then success: three retries, one reconnect —
+  // exactly the accounting client.h documents.
+  ScriptedServer server({ScriptedServer::Action::kQueueFull, ScriptedServer::Action::kClose,
+                         ScriptedServer::Action::kQueueFull, ScriptedServer::Action::kOk});
+  ServeClient client = ServeClient::connect_tcp(server.port());
+  ClientRetryPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_base_ms = 1;
+  policy.backoff_cap_ms = 2;
+
+  const RetryOutcome outcome = client.request_with_retry(rank_request('M', 4), policy);
+  EXPECT_EQ(outcome.response.status, StatusCode::kOk);
+  EXPECT_EQ(outcome.response.artifact, "scripted");
+  EXPECT_EQ(outcome.retries, 3u);
+  EXPECT_EQ(outcome.reconnects, 1u);
+  EXPECT_EQ(server.connections_accepted(), 2u);
+}
+
+TEST(ClientRetry, NonRetryableStatusReturnsWithoutSpendingBudget) {
+  ScriptedServer server({ScriptedServer::Action::kComputeFailed});
+  ServeClient client = ServeClient::connect_tcp(server.port());
+  ClientRetryPolicy policy;
+  policy.max_retries = 5;
+  policy.backoff_base_ms = 1;
+
+  // ComputeFailed is deterministic — retrying would recompute the same
+  // failure — so the budget must stay untouched.
+  const RetryOutcome outcome = client.request_with_retry(rank_request('M', 4), policy);
+  EXPECT_EQ(outcome.response.status, StatusCode::kComputeFailed);
+  EXPECT_EQ(outcome.retries, 0u);
+  EXPECT_EQ(outcome.reconnects, 0u);
+  EXPECT_EQ(server.connections_accepted(), 1u);
+}
+
+TEST(ClientRetry, RepeatedConnectionLossMakesExactlyBudgetPlusOneAttempts) {
+  ScriptedServer server({ScriptedServer::Action::kClose, ScriptedServer::Action::kClose,
+                         ScriptedServer::Action::kClose});
+  ServeClient client = ServeClient::connect_tcp(server.port());
+  ClientRetryPolicy policy;
+  policy.max_retries = 2;
+  policy.backoff_base_ms = 1;
+  policy.backoff_cap_ms = 2;
+
+  // max_retries = 2 means three attempts total; the third loss escapes as
+  // the typed transport error.
+  EXPECT_THROW(client.request_with_retry(rank_request('M', 4), policy), ConnectionLostError);
+  EXPECT_EQ(server.connections_accepted(), 3u);
 }
 
 }  // namespace

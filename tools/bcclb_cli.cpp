@@ -16,6 +16,8 @@
 //   campaign --verify [golden] re-run in memory, diff digests vs golden.json
 //   sim --implicit …           min-ID flood on an implicit instance (n to 10^6)
 //   serve …                    long-lived daemon on a Unix or TCP socket
+//   route …                    shard router fronting N serve daemons
+//   probe …                    one-shot stats round trip (prints the artifact)
 //   loadgen …                  seeded load generator against a running daemon
 //   version                    git describe baked in at configure time
 //
@@ -510,6 +512,13 @@ int cmd_loadgen(int argc, char** argv) {
       const auto backoff = parse_u64(value);
       if (!backoff || *backoff == 0) return usage();
       config.backoff_base_ms = *backoff;
+    } else if (flag == "--zipf" && value != nullptr) {
+      const auto s = parse_double(value);
+      if (!s || *s < 0.0) return usage();
+      config.zipf_s = *s;
+    } else if (flag == "--router") {
+      config.router = true;
+      continue;  // no value consumed
     } else if (flag == "--json" && value != nullptr && *value != '\0') {
       json_path = value;
     } else {
@@ -553,6 +562,137 @@ int cmd_loadgen(int argc, char** argv) {
                  report.digest_mismatches, report.byte_mismatches);
     return 1;
   }
+  return 0;
+}
+
+// bccr: the shard router (DESIGN.md §9). Fronts N `bcclb serve` daemons with
+// rendezvous hashing, per-backend circuit breakers, failover and optional
+// hedging. Drains on SIGINT/SIGTERM exactly like bccd.
+int cmd_route(int argc, char** argv) {
+  RouterConfig config;
+  bool have_endpoint = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--socket" && value != nullptr && *value != '\0') {
+      config.unix_path = value;
+      have_endpoint = true;
+    } else if (flag == "--port" && value != nullptr) {
+      const auto port = parse_unsigned(value);
+      if (!port || *port > 65535) return usage();
+      config.tcp_port = static_cast<std::uint16_t>(*port);
+      have_endpoint = true;
+    } else if (flag == "--backend" && value != nullptr) {
+      const auto endpoint = parse_backend_endpoint(value);
+      if (!endpoint) return usage();
+      config.backends.push_back(*endpoint);
+    } else if (flag == "--fail-threshold" && value != nullptr) {
+      const auto threshold = parse_unsigned(value);
+      if (!threshold || *threshold == 0) return usage();
+      config.health.fail_threshold = *threshold;
+    } else if (flag == "--open-ms" && value != nullptr) {
+      const auto ms = parse_u64(value);
+      if (!ms) return usage();
+      config.health.open_cooldown_ms = *ms;
+    } else if (flag == "--probe-interval-ms" && value != nullptr) {
+      const auto ms = parse_u64(value);
+      if (!ms) return usage();
+      config.health.probe_interval_ms = *ms;
+    } else if (flag == "--probe-deadline-ms" && value != nullptr) {
+      const auto ms = parse_u64(value);
+      if (!ms || *ms == 0) return usage();
+      config.health.probe_deadline_ms = *ms;
+    } else if (flag == "--attempt-deadline-ms" && value != nullptr) {
+      const auto ms = parse_u64(value);
+      if (!ms || *ms == 0) return usage();
+      config.attempt_deadline_ms = *ms;
+    } else if (flag == "--hedge-ms" && value != nullptr) {
+      const auto ms = parse_u64(value);
+      if (!ms) return usage();
+      config.hedge_delay_ms = *ms;
+    } else if (flag == "--max-connections" && value != nullptr) {
+      const auto cap = parse_size(value);
+      if (!cap || *cap == 0) return usage();
+      config.max_connections = *cap;
+    } else if (flag == "--seed" && value != nullptr) {
+      const auto seed = parse_u64(value);
+      if (!seed) return usage();
+      config.health.seed = *seed;
+    } else {
+      return usage();
+    }
+    ++i;  // every flag consumed a value
+  }
+  if (!have_endpoint || config.backends.empty()) return usage();
+
+  std::signal(SIGINT, on_campaign_signal);
+  std::signal(SIGTERM, on_campaign_signal);
+  config.drain_flag = &g_interrupted;
+
+  RouterServer router(std::move(config));
+  router.bind();
+  std::printf("bccr listening on %s across %zu backend(s)\n", router.endpoint().c_str(),
+              router.pool().size());
+  std::fflush(stdout);
+
+  const RouterStats stats = router.run();
+  std::printf("bccr drained: %llu routed, %llu ok, %llu error\n",
+              static_cast<unsigned long long>(stats.requests_routed),
+              static_cast<unsigned long long>(stats.responses_ok),
+              static_cast<unsigned long long>(stats.responses_error));
+  std::printf("  failovers %llu, hedges %llu (won %llu), digest-rejected %llu, no-backend %llu\n",
+              static_cast<unsigned long long>(stats.failovers),
+              static_cast<unsigned long long>(stats.hedges_launched),
+              static_cast<unsigned long long>(stats.hedges_won),
+              static_cast<unsigned long long>(stats.digest_rejected),
+              static_cast<unsigned long long>(stats.no_backend));
+  for (std::size_t id = 0; id < stats.backends.size(); ++id) {
+    const BackendSnapshot& b = stats.backends[id];
+    std::printf("  backend %zu %s state=%s routed=%llu failures=%llu opened=%llu "
+                "readmitted=%llu\n",
+                id, b.endpoint.to_string().c_str(), backend_state_name(b.state),
+                static_cast<unsigned long long>(b.counters.routed),
+                static_cast<unsigned long long>(b.counters.failures),
+                static_cast<unsigned long long>(b.counters.circuit_opened),
+                static_cast<unsigned long long>(b.counters.circuit_closed));
+  }
+  return 0;
+}
+
+// One-shot health probe: a single kStats round trip, artifact to stdout.
+// Works against both bccd and bccr — cluster_smoke.sh greps router stats
+// (circuit states, failover counters) through this.
+int cmd_probe(int argc, char** argv) {
+  std::string unix_path;
+  std::uint16_t tcp_port = 0;
+  bool have_endpoint = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--socket" && value != nullptr && *value != '\0') {
+      unix_path = value;
+      have_endpoint = true;
+    } else if (flag == "--port" && value != nullptr) {
+      const auto port = parse_unsigned(value);
+      if (!port || *port == 0 || *port > 65535) return usage();
+      tcp_port = static_cast<std::uint16_t>(*port);
+      have_endpoint = true;
+    } else {
+      return usage();
+    }
+    ++i;
+  }
+  if (!have_endpoint) return usage();
+
+  ServeClient client = unix_path.empty() ? ServeClient::connect_tcp(tcp_port)
+                                         : ServeClient::connect_unix(unix_path);
+  Request request;
+  request.type = RequestType::kStats;
+  ClientRetryPolicy policy;
+  policy.deadline_ms = 5000;
+  const RetryOutcome outcome = client.request_with_retry(request, policy);
+  const Response& response = require_ok(outcome.response);
+  std::fwrite(response.artifact.data(), 1, response.artifact.size(), stdout);
   return 0;
 }
 
@@ -682,9 +822,15 @@ int usage() {
                "          [--threads N] [--cycles K] [--digest]\n"
                "  serve   (--socket <path> | --port <p>) [--threads N] [--queue N]\n"
                "          [--cache-budget <bytes>] [--max-connections N] [--store <dir>]\n"
+               "  route   (--socket <path> | --port <p>) --backend (unix:<path>|tcp:<p>) ...\n"
+               "          [--fail-threshold N] [--open-ms MS] [--probe-interval-ms MS]\n"
+               "          [--probe-deadline-ms MS] [--attempt-deadline-ms MS] [--hedge-ms MS]\n"
+               "          [--max-connections N] [--seed S]\n"
+               "  probe   (--socket <path> | --port <p>)\n"
                "  loadgen (--socket <path> | --port <p>) [--requests N] [--concurrency N]\n"
                "          [--seed S] [--pool N] [--max-n N] [--stats-every N] [--json <path>]\n"
-               "          [--retries N] [--deadline-ms MS] [--backoff-ms MS]\n"
+               "          [--retries N] [--deadline-ms MS] [--backoff-ms MS] [--zipf S]\n"
+               "          [--router]\n"
                "  version\n"
                "adversaries: silent id-bits hashed-id coin-xor-id port-parity echo state-hash\n"
                "families: one-cycle two-cycle multi-cycle random-regular\n"
@@ -707,6 +853,8 @@ int dispatch(int argc, char** argv) {
     return 0;
   }
   if (cmd == "serve") return cmd_serve(argc, argv);
+  if (cmd == "route") return cmd_route(argc, argv);
+  if (cmd == "probe") return cmd_probe(argc, argv);
   if (cmd == "loadgen") return cmd_loadgen(argc, argv);
   if (cmd == "sim") return cmd_sim(argc, argv);
   if (cmd == "counts" && argc >= 3) {
