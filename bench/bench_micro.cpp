@@ -113,6 +113,49 @@ void BM_Gf2Rank(benchmark::State& state) {
 }
 BENCHMARK(BM_Gf2Rank)->Arg(5)->Arg(6)->Arg(7)->Arg(8)->Unit(benchmark::kMillisecond);
 
+// O(n) random access into the RGS-lex order — the primitive that lets a tile
+// start at any row without enumerating predecessors.
+void BM_UnrankPartition(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t bell = checked_bell_u64(n);
+  std::uint64_t i = 0;
+  std::vector<std::uint32_t> rgs;
+  for (auto _ : state) {
+    unrank_rgs(n, i, rgs);
+    benchmark::DoNotOptimize(rgs.data());
+    i = (i + 0x9e3779b97f4a7c15ULL) % bell;  // stride through the order
+  }
+}
+BENCHMARK(BM_UnrankPartition)->Arg(9)->Arg(16)->Arg(25);
+
+// On-the-fly generation of one 256-row tile of M_n: unrank + streamed rows +
+// the union-find join kernel across all B_n columns.
+void BM_TileGen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t bell = checked_bell_u64(n);
+  const std::size_t rows = std::min<std::uint64_t>(256, bell);
+  const std::size_t lo = (bell - rows) / 2;  // mid-matrix, not the easy prefix
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_join_tile(n, lo, lo + rows, 1));
+  }
+}
+BENCHMARK(BM_TileGen)->Arg(7)->Arg(8)->Arg(9)->Unit(benchmark::kMillisecond);
+
+// The out-of-core engine end to end on a dense-feasible size — compare
+// against BM_Gf2Rank/8 (dense) to see the cost of streaming.
+void BM_TiledRank(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    TiledRankConfig config;
+    config.n = n;
+    config.field = RankField::kModp;
+    config.tile_rows = 256;
+    config.threads = 1;
+    benchmark::DoNotOptimize(tiled_partition_rank(config));
+  }
+}
+BENCHMARK(BM_TiledRank)->Arg(6)->Arg(7)->Unit(benchmark::kMillisecond);
+
 void BM_SimulatorBoruvka(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(6);

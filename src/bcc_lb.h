@@ -62,12 +62,14 @@
 #include "pls/randomized_pls.h"                  // IWYU pragma: export
 #include "pls/scheme.h"                          // IWYU pragma: export
 #include "pls/transcript_pls.h"                  // IWYU pragma: export
+#include "linalg/tiled_rank.h"                   // IWYU pragma: export
 #include "partition/bell.h"                      // IWYU pragma: export
 #include "partition/enumeration.h"               // IWYU pragma: export
 #include "partition/moebius.h"                   // IWYU pragma: export
 #include "partition/pair_partition.h"            // IWYU pragma: export
 #include "partition/sampling.h"                  // IWYU pragma: export
 #include "partition/set_partition.h"             // IWYU pragma: export
+#include "partition/unrank.h"                    // IWYU pragma: export
 #include "serve/artifact_cache.h"                // IWYU pragma: export
 #include "serve/backend_pool.h"                  // IWYU pragma: export
 #include "serve/chaos.h"                         // IWYU pragma: export

@@ -43,4 +43,10 @@ std::optional<std::uint64_t> env_u64_required_valid(const char* name);
 // BCCLB_SIM_FAMILY whose validation lives with the enum's parser.)
 std::optional<std::string_view> env_string(const char* name);
 
+// Strict parse of a byte budget: whole number with optional single K/M/G
+// suffix (binary: K = 1024, ...). Rejects empty, negative, trailing junk and
+// overflow. This is the BCCLB_MEM_BUDGET / --mem-budget syntax, shared by
+// the campaign runner, the artifact cache, and the out-of-core rank tiler.
+std::optional<std::uint64_t> parse_mem_bytes(const char* text);
+
 }  // namespace bcclb

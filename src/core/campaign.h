@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
+
 namespace bcclb {
 
 // What a job body receives from the runner: how wide the job itself may go
@@ -135,10 +137,9 @@ struct CampaignReport {
 unsigned plan_campaign_workers(std::vector<std::size_t> est_bytes, unsigned max_workers,
                                std::uint64_t budget_bytes);
 
-// Strict parse of a byte budget: whole number with optional single K/M/G
-// suffix (binary: K = 1024, ...). Rejects empty, negative, trailing junk and
-// overflow. This is the BCCLB_MEM_BUDGET / --mem-budget syntax.
-std::optional<std::uint64_t> parse_mem_bytes(const char* text);
+// parse_mem_bytes (the BCCLB_MEM_BUDGET / --mem-budget syntax) moved to
+// common/env.h so non-campaign consumers (artifact cache, tiled rank) parse
+// budgets identically; re-exported here via the include below.
 
 class CampaignRunner {
  public:

@@ -1,8 +1,10 @@
 #include "partition/enumeration.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/check.h"
+#include "common/errors.h"
 #include "partition/bell.h"
 
 namespace bcclb {
@@ -33,6 +35,25 @@ void for_each_partition(std::size_t n, const std::function<bool(const SetPartiti
 }
 
 std::vector<SetPartition> all_partitions(std::size_t n) {
+  // Materializing all B_n partitions is an in-RAM-only affair; past the
+  // ceiling the footprint jumps into the gigabytes (B_13 = 27644437 RGS
+  // vectors) and the streaming path (partition/unrank.h PartitionSlice) is
+  // the supported route. The guard is typed so campaign planners can catch
+  // it separately from generic argument errors.
+  constexpr std::size_t kMaxAllPartitionsN = 12;
+  BCCLB_REQUIRE(n >= 1, "ground set must be nonempty");
+  if (n > kMaxAllPartitionsN) {
+    const double count = n <= 25 ? static_cast<double>(bell_number_u64(n)) : 1e30;
+    const double approx_bytes = count * static_cast<double>(n * 4 + 64);
+    char footprint[64];
+    std::snprintf(footprint, sizeof(footprint), "~%.1f GiB",
+                  approx_bytes / (1024.0 * 1024.0 * 1024.0));
+    throw RangeViolationError(
+        "all_partitions(" + std::to_string(n) + "): materializing B_" + std::to_string(n) +
+        " partitions (" + footprint + ") exceeds the in-RAM ceiling n <= " +
+        std::to_string(kMaxAllPartitionsN) +
+        " (B_12 = 4213597); stream a PartitionSlice (partition/unrank.h) instead");
+  }
   std::vector<SetPartition> out;
   out.reserve(bell_number(n).fits_u64() ? static_cast<std::size_t>(bell_number_u64(n)) : 0);
   for_each_partition(n, [&](const SetPartition& p) {

@@ -1,7 +1,11 @@
 #include "partition/join_matrix.h"
 
+#include <cstdio>
+
 #include "common/check.h"
+#include "common/errors.h"
 #include "common/parallel.h"
+#include "partition/bell.h"
 #include "partition/enumeration.h"
 #include "partition/pair_partition.h"
 
@@ -32,7 +36,22 @@ BoolMatrix join_matrix_over(const std::vector<SetPartition>& parts) {
 }  // namespace
 
 BoolMatrix partition_join_matrix(std::size_t n) {
-  BCCLB_REQUIRE(n >= 1 && n <= 8, "M_n supported for n <= 8 (B_8 = 4140)");
+  // One byte per entry: dense M_9 is already B_9^2 = 447 MB and M_10 is
+  // 13.4 GB — a silent multi-GB allocation, so the guard is typed and names
+  // the footprint. Larger n goes through the out-of-core tiled pipeline
+  // (linalg/tiled_rank.h), which never materializes the dense matrix.
+  constexpr std::size_t kMaxDenseJoinN = 8;
+  BCCLB_REQUIRE(n >= 1, "ground set must be nonempty");
+  if (n > kMaxDenseJoinN) {
+    const double bell = n <= 25 ? static_cast<double>(bell_number_u64(n)) : 1e30;
+    char footprint[64];
+    std::snprintf(footprint, sizeof(footprint), "~%.2f GiB", bell * bell / (1024.0 * 1024.0 * 1024.0));
+    throw RangeViolationError(
+        "partition_join_matrix(" + std::to_string(n) + "): dense M_" + std::to_string(n) +
+        " is B_n x B_n bytes (" + footprint + "), past the dense ceiling n <= " +
+        std::to_string(kMaxDenseJoinN) +
+        " (B_8 = 4140); use tiled_partition_rank (linalg/tiled_rank.h) instead");
+  }
   return join_matrix_over(all_partitions(n));
 }
 

@@ -1,5 +1,6 @@
 #include "serve/handlers.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -11,6 +12,8 @@
 #include "crossing/indistinguishability_graph.h"
 #include "crossing/matching.h"
 #include "graph/cycle_structure.h"
+#include "linalg/tiled_rank.h"
+#include "partition/bell.h"
 
 namespace bcclb {
 
@@ -177,6 +180,31 @@ std::string sim_implicit_artifact(std::uint8_t family, std::uint32_t n, std::uin
   return out;
 }
 
+std::string rank_tile_artifact(std::uint8_t field_byte, std::uint32_t n, std::uint64_t packed,
+                               unsigned threads) {
+  // Wire validation bounded n, tile_rows, and tile_index; re-derive the row
+  // range here so the artifact is a pure function of the request fields.
+  const std::size_t tile_rows = static_cast<std::size_t>(packed >> 32);
+  const std::size_t tile_index = static_cast<std::size_t>(packed & 0xffffffffULL);
+  const std::uint64_t bell = bell_number_u64(n);
+  const std::size_t row_lo = tile_index * tile_rows;
+  const std::size_t row_hi =
+      static_cast<std::size_t>(std::min<std::uint64_t>(bell, row_lo + tile_rows));
+  const RankField field = field_byte == '2' ? RankField::kGf2 : RankField::kModp;
+  const JoinTile tile = generate_join_tile(n, row_lo, row_hi, threads);
+  const std::size_t rank = join_tile_rank(tile, field, kPrime30A);
+
+  std::string out;
+  appendf(out, "rank-tile M_%u field=%s tile=%zu/%zu\n", n, rank_field_name(field), tile_index,
+          static_cast<std::size_t>((bell + tile_rows - 1) / tile_rows));
+  appendf(out, "rows = [%zu, %zu) of %llu, cols = %zu\n", row_lo, row_hi,
+          static_cast<unsigned long long>(bell), tile.cols);
+  appendf(out, "ones = %llu\n", static_cast<unsigned long long>(tile.ones));
+  appendf(out, "bits digest = %s\n", digest_hex(tile.digest).c_str());
+  appendf(out, "tile rank = %zu / %zu\n", rank, tile.rows);
+  return out;
+}
+
 std::string compute_artifact(const Request& request, unsigned threads) {
   switch (request.type) {
     case RequestType::kClassify:
@@ -192,6 +220,8 @@ std::string compute_artifact(const Request& request, unsigned threads) {
     }
     case RequestType::kSimImplicit:
       return sim_implicit_artifact(request.family, request.n, request.packed, threads);
+    case RequestType::kRankTile:
+      return rank_tile_artifact(request.family, request.n, request.packed, threads);
     case RequestType::kStats:
       break;
   }

@@ -36,5 +36,10 @@ std::string info_artifact(std::uint32_t n, double keep_fraction);
 // path); `threads` widens the SoA reductions without changing the bytes.
 std::string sim_implicit_artifact(std::uint8_t family, std::uint32_t n, std::uint64_t seed,
                                   unsigned threads);
+// One tile of the out-of-core M_n elimination: generates rows
+// [tile_index*tile_rows, …) on the fly, reports the join-bit digest and the
+// standalone tile rank over the requested field ('2' = GF(2), 'p' = mod-p).
+std::string rank_tile_artifact(std::uint8_t field_byte, std::uint32_t n, std::uint64_t packed,
+                               unsigned threads);
 
 }  // namespace bcclb

@@ -4,6 +4,7 @@
 
 #include "bcc/checkpoint.h"
 #include "common/errors.h"
+#include "partition/bell.h"
 
 namespace bcclb {
 
@@ -68,6 +69,7 @@ const char* request_type_name(RequestType type) {
     case RequestType::kRank: return "rank";
     case RequestType::kInfo: return "info";
     case RequestType::kSimImplicit: return "sim-implicit";
+    case RequestType::kRankTile: return "rank-tile";
   }
   return "?";
 }
@@ -120,6 +122,11 @@ std::string encode_request_payload(const Request& request) {
       out.push_back(static_cast<char>(request.family));
       append_u32(out, request.n);
       append_u64(out, request.packed);  // the spec seed
+      break;
+    case RequestType::kRankTile:
+      out.push_back(static_cast<char>(request.family));
+      append_u32(out, request.n);
+      append_u64(out, request.packed);  // (tile_rows << 32) | tile_index
       break;
   }
   return out;
@@ -259,6 +266,33 @@ Request decode_request(std::uint8_t type, std::string_view payload) {
         throw ProtocolViolationError("sim-implicit: n=" + std::to_string(request.n) +
                                      " outside [" + std::to_string(kMinSimImplicitN) + ", " +
                                      std::to_string(kMaxSimImplicitN) + "]");
+      }
+      break;
+    }
+    case RequestType::kRankTile: {
+      request.type = RequestType::kRankTile;
+      request.family = static_cast<std::uint8_t>(reader.take(1));
+      request.n = static_cast<std::uint32_t>(reader.take(4));
+      request.packed = reader.take(8);
+      if (request.family != '2' && request.family != 'p') {
+        throw ProtocolViolationError("rank-tile: unknown field byte (expected '2' or 'p')");
+      }
+      if (request.n < 1 || request.n > kMaxRankMN) {
+        throw ProtocolViolationError("rank-tile: n=" + std::to_string(request.n) +
+                                     " outside [1, " + std::to_string(kMaxRankMN) + "]");
+      }
+      const std::uint64_t tile_rows = request.packed >> 32;
+      const std::uint64_t tile_index = request.packed & 0xffffffffULL;
+      if (tile_rows < 1 || tile_rows > kMaxRankTileRows) {
+        throw ProtocolViolationError("rank-tile: tile_rows=" + std::to_string(tile_rows) +
+                                     " outside [1, " + std::to_string(kMaxRankTileRows) + "]");
+      }
+      const std::uint64_t bell = bell_number_u64(request.n);
+      const std::uint64_t tiles = (bell + tile_rows - 1) / tile_rows;
+      if (tile_index >= tiles) {
+        throw ProtocolViolationError("rank-tile: tile_index=" + std::to_string(tile_index) +
+                                     " beyond the " + std::to_string(tiles) + " tiles of M_" +
+                                     std::to_string(request.n));
       }
       break;
     }

@@ -46,6 +46,8 @@ enum class RequestType : std::uint8_t {
   kRank = 4,         // Theorem 4.4 pipeline: rank certificate for M_n / E_n
   kInfo = 5,         // Theorem 4.5: PartitionComp information bound
   kSimImplicit = 6,  // min-ID flood over an implicit instance (family, n, seed)
+  kRankTile = 7,     // one tile of the out-of-core M_n elimination: join bits
+                     // digest + standalone tile rank (linalg/tiled_rank.h)
 };
 
 const char* request_type_name(RequestType type);
@@ -80,6 +82,8 @@ const char* cache_source_name(CacheSource source);
 //   kRank        — family ('M' or 'E'), n
 //   kInfo        — n, keep_bits (IEEE-754 bit pattern of the keep fraction)
 //   kSimImplicit — family (an ImplicitFamily byte), n, packed (the spec seed)
+//   kRankTile    — family ('2' for GF(2), 'p' for mod-p), n, packed =
+//                  (tile_rows << 32) | tile_index
 struct Request {
   RequestType type = RequestType::kStats;
   std::uint32_t n = 0;
@@ -146,5 +150,8 @@ inline constexpr std::uint32_t kMaxInfoN = 8;        // B_8 partitions
 // 2^20 vertices is the largest size the daemon can serve interactively.
 inline constexpr std::uint32_t kMinSimImplicitN = 6;
 inline constexpr std::uint32_t kMaxSimImplicitN = 1u << 20;
+// A rank tile is O(tile_rows * B_n) work; B_8 columns at 4096 rows is the
+// largest tile the daemon can generate and rank interactively.
+inline constexpr std::uint32_t kMaxRankTileRows = 4096;
 
 }  // namespace bcclb

@@ -32,6 +32,7 @@
 #include "bcc/checkpoint.h"
 #include "common/errors.h"
 #include "common/random.h"
+#include "linalg/tiled_rank.h"
 #include "serve/artifact_cache.h"
 #include "serve/chaos.h"
 #include "serve/client.h"
@@ -75,6 +76,16 @@ Request sim_implicit_request(std::uint8_t family, std::uint32_t n, std::uint64_t
   r.family = family;
   r.n = n;
   r.packed = seed;
+  return r;
+}
+
+Request rank_tile_request(char field, std::uint32_t n, std::uint64_t tile_rows,
+                          std::uint64_t tile_index) {
+  Request r;
+  r.type = RequestType::kRankTile;
+  r.family = static_cast<std::uint8_t>(field);
+  r.n = n;
+  r.packed = (tile_rows << 32) | tile_index;
   return r;
 }
 
@@ -158,6 +169,7 @@ TEST(Wire, RequestRoundTripsEveryType) {
         return r;
       }(),
       sim_implicit_request(1, 100, 2019),
+      rank_tile_request('p', 7, 256, 2),
   };
   for (const Request& request : requests) {
     const std::string frame = encode_request_frame(request);
@@ -240,6 +252,15 @@ TEST(Wire, ValidatesParameterRanges) {
   EXPECT_THROW(decode(sim_implicit_request(4, 100, 0)), ProtocolViolationError);
   EXPECT_THROW(decode(sim_implicit_request(0, kMinSimImplicitN - 1, 0)), ProtocolViolationError);
   EXPECT_THROW(decode(sim_implicit_request(0, kMaxSimImplicitN + 1, 0)), ProtocolViolationError);
+  // rank-tile: bad field byte, n / tile_rows outside the range, and a tile
+  // index past the last tile of M_n (B_7 = 877 -> 4 tiles of 256).
+  EXPECT_THROW(decode(rank_tile_request('M', 7, 256, 0)), ProtocolViolationError);
+  EXPECT_THROW(decode(rank_tile_request('p', kMaxRankMN + 1, 256, 0)), ProtocolViolationError);
+  EXPECT_THROW(decode(rank_tile_request('p', 7, 0, 0)), ProtocolViolationError);
+  EXPECT_THROW(decode(rank_tile_request('p', 7, kMaxRankTileRows + 1, 0)),
+               ProtocolViolationError);
+  EXPECT_THROW(decode(rank_tile_request('p', 7, 256, 4)), ProtocolViolationError);
+  EXPECT_EQ(decode(rank_tile_request('p', 7, 256, 3)).n, 7u);
 }
 
 TEST(Wire, CacheKeyIsContentAddressed) {
@@ -355,6 +376,44 @@ TEST(Handlers, SimImplicitVerdictsAndDeterminism) {
 
   // Passed wire validation but fails the per-family constraint.
   EXPECT_THROW(sim_implicit_artifact(2, 8, 0, 1), ProtocolViolationError);
+}
+
+TEST(Handlers, RankTileMatchesTheTiledEngineAndThreadWidths) {
+  // The artifact is a pure function of (field, n, tile_rows, tile_index):
+  // byte-identical across worker widths, and its digest line matches a
+  // directly generated tile.
+  const Request request = rank_tile_request('p', 6, 64, 1);
+  const std::string serial = compute_artifact(request, 1);
+  EXPECT_EQ(serial, compute_artifact(request, 4));
+  const JoinTile tile = generate_join_tile(6, 64, 128, 1);
+  EXPECT_NE(serial.find(digest_hex(tile.digest)), std::string::npos);
+  EXPECT_NE(serial.find("rows = [64, 128) of 203"), std::string::npos);
+
+  // A whole-matrix "tile" of M_6 reproduces the dense ranks: full B_6 = 203
+  // over mod p, 2^5 = 32 over GF(2).
+  const std::string whole_p = compute_artifact(rank_tile_request('p', 6, 203, 0), 1);
+  EXPECT_NE(whole_p.find("tile rank = 203 / 203"), std::string::npos);
+  const std::string whole_2 = compute_artifact(rank_tile_request('2', 6, 203, 0), 1);
+  EXPECT_NE(whole_2.find("tile rank = 32 / 203"), std::string::npos);
+}
+
+TEST(ServeServer, RankTileServesAndCachesEndToEnd) {
+  RunningServer running({});
+  ServeClient client = running.connect();
+  const Request request = rank_tile_request('p', 7, 256, 1);
+
+  const Response cold = client.request(request);
+  ASSERT_EQ(cold.status, StatusCode::kOk);
+  EXPECT_EQ(cold.source, CacheSource::kCold);
+  EXPECT_EQ(cold.digest, fnv1a(cold.artifact));
+  EXPECT_NE(cold.artifact.find("rank-tile M_7 field=modp tile=1/4"), std::string::npos);
+  EXPECT_NE(cold.artifact.find("rows = [256, 512) of 877"), std::string::npos);
+
+  const Response warm = client.request(request);
+  ASSERT_EQ(warm.status, StatusCode::kOk);
+  EXPECT_EQ(warm.source, CacheSource::kHit);
+  EXPECT_EQ(warm.artifact, cold.artifact);
+  (void)running.stop();
 }
 
 // ---- errors ----------------------------------------------------------------

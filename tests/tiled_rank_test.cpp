@@ -1,0 +1,338 @@
+// Out-of-core tiled rank (linalg/tiled_rank.h): tile generation vs the dense
+// join matrix, tiled rank vs the dense eliminators, thread/tiling
+// invariance, checkpointed kill-free resume identity, corruption detection,
+// and memory-budget behaviour.
+
+#include "linalg/tiled_rank.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+
+#include "bcc/checkpoint.h"
+#include "common/errors.h"
+#include "linalg/gf2_matrix.h"
+#include "partition/bell.h"
+#include "partition/join_matrix.h"
+
+namespace bcclb {
+namespace {
+
+std::string test_dir(const std::string& suffix = "") {
+  const ::testing::TestInfo* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string dir = ::testing::TempDir() + "bcclb_rank_" + info->test_suite_name() + "_" +
+                    info->name() + suffix;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TiledRankConfig base_config(std::size_t n, RankField field, std::size_t tile_rows) {
+  TiledRankConfig cfg;
+  cfg.n = n;
+  cfg.field = field;
+  cfg.tile_rows = tile_rows;
+  cfg.threads = 1;
+  return cfg;
+}
+
+TEST(JoinTile, MatchesDenseJoinMatrix) {
+  for (std::size_t n = 1; n <= 6; ++n) {
+    const BoolMatrix dense = partition_join_matrix(n);
+    const std::size_t bell = dense.rows;
+    // A few representative windows, including ragged boundaries.
+    const std::size_t windows[][2] = {{0, bell}, {0, 1}, {bell / 3, bell / 2 + 1}, {bell - 1, bell}};
+    for (const auto& w : windows) {
+      const JoinTile tile = generate_join_tile(n, w[0], w[1], 1);
+      ASSERT_EQ(tile.rows, w[1] - w[0]);
+      ASSERT_EQ(tile.cols, bell);
+      for (std::size_t r = 0; r < tile.rows; ++r) {
+        for (std::size_t c = 0; c < bell; ++c) {
+          ASSERT_EQ(tile.get(r, c), dense.at(w[0] + r, c) != 0)
+              << "n=" << n << " row " << w[0] + r << " col " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(JoinTile, ThreadCountDoesNotChangeBits) {
+  const JoinTile one = generate_join_tile(7, 100, 612, 1);
+  for (unsigned threads : {2u, 3u, 8u}) {
+    const JoinTile t = generate_join_tile(7, 100, 612, threads);
+    EXPECT_EQ(t.bits, one.bits);
+    EXPECT_EQ(t.digest, one.digest);
+    EXPECT_EQ(t.ones, one.ones);
+  }
+}
+
+TEST(JoinTile, RangeGuards) {
+  EXPECT_THROW(generate_join_tile(0, 0, 0), RangeViolationError);
+  EXPECT_THROW(generate_join_tile(26, 0, 1), RangeViolationError);
+  EXPECT_THROW(generate_join_tile(5, 3, 2), RangeViolationError);
+  EXPECT_THROW(generate_join_tile(5, 0, bell_number_u64(5) + 1), RangeViolationError);
+}
+
+TEST(JoinTileRank, MatchesDenseRankOfTheSameRows) {
+  const BoolMatrix dense = partition_join_matrix(6);
+  const JoinTile tile = generate_join_tile(6, 50, 150, 1);
+  BoolMatrix sub;
+  sub.rows = tile.rows;
+  sub.cols = tile.cols;
+  sub.data.assign(sub.rows * sub.cols, 0);
+  for (std::size_t r = 0; r < sub.rows; ++r) {
+    for (std::size_t c = 0; c < sub.cols; ++c) sub.at(r, c) = dense.at(50 + r, c);
+  }
+  EXPECT_EQ(join_tile_rank(tile, RankField::kGf2, 0),
+            Gf2Matrix::from_bool_matrix(sub).rank());
+  EXPECT_EQ(join_tile_rank(tile, RankField::kModp, kPrime30A),
+            ModpMatrix::from_bool_matrix(sub, kPrime30A).rank());
+}
+
+TEST(TiledRank, Gf2MatchesDenseUpToM8) {
+  // GF(2) rank of M_n is 2^{n-1} (rank-deficient — why the certificate rests
+  // on mod p); tiled elimination must agree with the dense four-Russians
+  // path exactly.
+  for (std::size_t n = 1; n <= 8; ++n) {
+    const std::size_t dense_rank = Gf2Matrix::from_bool_matrix(partition_join_matrix(n)).rank();
+    const TiledRankReport report = tiled_partition_rank(base_config(n, RankField::kGf2, 97));
+    EXPECT_TRUE(report.complete);
+    EXPECT_EQ(report.rank, dense_rank) << "n=" << n;
+    EXPECT_EQ(report.rank, std::size_t{1} << (n - 1)) << "n=" << n;
+    EXPECT_EQ(report.dimension, bell_number_u64(n));
+  }
+}
+
+TEST(TiledRank, ModpMatchesDenseUpToM7) {
+  for (std::size_t n = 1; n <= 7; ++n) {
+    const std::size_t dense_rank =
+        ModpMatrix::from_bool_matrix(partition_join_matrix(n), kPrime30A).rank();
+    const TiledRankReport report = tiled_partition_rank(base_config(n, RankField::kModp, 128));
+    EXPECT_TRUE(report.complete);
+    EXPECT_EQ(report.rank, dense_rank) << "n=" << n;
+    // Theorem 2.3: M_n is full rank over Q, and these primes do not divide
+    // the determinantal divisors.
+    EXPECT_TRUE(report.full_rank) << "n=" << n;
+    EXPECT_EQ(report.rank, bell_number_u64(n));
+  }
+}
+
+TEST(TiledRank, BothPrimesAgree) {
+  TiledRankConfig cfg = base_config(6, RankField::kModp, 50);
+  cfg.prime = kPrime30A;
+  const TiledRankReport a = tiled_partition_rank(cfg);
+  cfg.prime = kPrime30B;
+  const TiledRankReport b = tiled_partition_rank(cfg);
+  EXPECT_EQ(a.rank, b.rank);
+  EXPECT_EQ(a.rank, bell_number_u64(6));
+  // The chain hashes the prime via the header, so certificates differ.
+  EXPECT_NE(a.certificate_digest, b.certificate_digest);
+}
+
+TEST(TiledRank, ThreadCountDoesNotChangeCertificate) {
+  TiledRankConfig cfg = base_config(7, RankField::kModp, 100);
+  cfg.threads = 1;
+  const TiledRankReport one = tiled_partition_rank(cfg);
+  for (unsigned threads : {2u, 8u}) {
+    cfg.threads = threads;
+    const TiledRankReport t = tiled_partition_rank(cfg);
+    EXPECT_EQ(t.rank, one.rank);
+    EXPECT_EQ(t.certificate_digest, one.certificate_digest);
+  }
+  EXPECT_TRUE(one.full_rank);
+}
+
+TEST(TiledRank, TileShapeDoesNotChangeRank) {
+  std::size_t expect = bell_number_u64(6);  // 203
+  for (const std::size_t tile_rows : {1ul, 7ul, 64ul, 203ul, 512ul}) {
+    const TiledRankReport report =
+        tiled_partition_rank(base_config(6, RankField::kModp, tile_rows));
+    EXPECT_EQ(report.rank, expect) << "tile_rows=" << tile_rows;
+    EXPECT_EQ(report.tiles_total, (203 + tile_rows - 1) / tile_rows);
+  }
+}
+
+TEST(TiledRank, CheckpointedRunResumesBitIdentical) {
+  const std::string dir_a = test_dir("_a");
+  const std::string dir_b = test_dir("_b");
+
+  TiledRankConfig cfg = base_config(7, RankField::kModp, 100);  // 9 tiles
+  cfg.dir = dir_a;
+  const TiledRankReport uninterrupted = tiled_partition_rank(cfg);
+  EXPECT_TRUE(uninterrupted.complete);
+  EXPECT_TRUE(uninterrupted.full_rank);
+
+  // Same campaign in dir_b, stopped after 2 tiles, then resumed to the end.
+  cfg.dir = dir_b;
+  cfg.stop_after_tiles = 2;
+  const TiledRankReport stopped = tiled_partition_rank(cfg);
+  EXPECT_FALSE(stopped.complete);
+  EXPECT_EQ(stopped.tiles_run, 2u);
+
+  cfg.stop_after_tiles = 0;
+  cfg.resume = true;
+  const TiledRankReport resumed = tiled_partition_rank(cfg);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.tiles_resumed, 2u);
+  EXPECT_EQ(resumed.tiles_run, uninterrupted.tiles_total - 2);
+  EXPECT_EQ(resumed.rank, uninterrupted.rank);
+  EXPECT_EQ(resumed.certificate_digest, uninterrupted.certificate_digest);
+
+  // Resuming a finished run is a no-op that reports the same certificate.
+  const TiledRankReport again = tiled_partition_rank(cfg);
+  EXPECT_TRUE(again.complete);
+  EXPECT_EQ(again.tiles_run, 0u);
+  EXPECT_EQ(again.rank, uninterrupted.rank);
+  EXPECT_EQ(again.certificate_digest, uninterrupted.certificate_digest);
+}
+
+TEST(TiledRank, RefusesToClobberAndRequiresCheckpointForResume) {
+  const std::string dir = test_dir();
+  TiledRankConfig cfg = base_config(5, RankField::kGf2, 13);
+  cfg.dir = dir;
+  cfg.resume = true;
+  EXPECT_THROW(tiled_partition_rank(cfg), CheckpointError);  // nothing to resume
+  cfg.resume = false;
+  tiled_partition_rank(cfg);
+  EXPECT_THROW(tiled_partition_rank(cfg), CheckpointError);  // refuses clobber
+  cfg.resume = false;
+  cfg.dir.clear();
+  cfg.resume = true;
+  EXPECT_THROW(tiled_partition_rank(cfg), CheckpointError);  // resume needs a dir
+}
+
+TEST(TiledRank, CorruptSegmentIsDetectedOnResume) {
+  const std::string dir = test_dir();
+  TiledRankConfig cfg = base_config(6, RankField::kModp, 50);
+  cfg.dir = dir;
+  cfg.stop_after_tiles = 2;
+  tiled_partition_rank(cfg);
+
+  // Flip one byte in the first segment; the recorded digest must catch it.
+  const std::string seg = rank_segment_path(dir, 0);
+  std::string bytes;
+  {
+    std::ifstream in(seg, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  {
+    std::ofstream out(seg, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  cfg.stop_after_tiles = 0;
+  cfg.resume = true;
+  EXPECT_THROW(tiled_partition_rank(cfg), CheckpointError);
+}
+
+TEST(TiledRank, TamperedCheckpointIsDetected) {
+  const std::string dir = test_dir();
+  TiledRankConfig cfg = base_config(5, RankField::kGf2, 13);
+  cfg.dir = dir;
+  cfg.stop_after_tiles = 1;
+  tiled_partition_rank(cfg);
+  const std::string path = rank_checkpoint_path(dir);
+  std::string snapshot;
+  {
+    std::ifstream in(path, std::ios::binary);
+    snapshot.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  // Hand-edit the claimed rank; the FNV trailer no longer matches.
+  const std::size_t pos = snapshot.find("rank ");
+  ASSERT_NE(pos, std::string::npos);
+  snapshot[pos + 5] = snapshot[pos + 5] == '9' ? '8' : '9';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(snapshot.data(), static_cast<std::streamsize>(snapshot.size()));
+  }
+  cfg.resume = true;
+  cfg.stop_after_tiles = 0;
+  EXPECT_THROW(tiled_partition_rank(cfg), CheckpointError);
+}
+
+TEST(TiledRank, ResumeRejectsMismatchedConfiguration) {
+  const std::string dir = test_dir();
+  TiledRankConfig cfg = base_config(6, RankField::kModp, 50);
+  cfg.dir = dir;
+  cfg.stop_after_tiles = 1;
+  tiled_partition_rank(cfg);
+  cfg.resume = true;
+  cfg.stop_after_tiles = 0;
+  TiledRankConfig other = cfg;
+  other.tile_rows = 64;
+  EXPECT_THROW(tiled_partition_rank(other), CheckpointError);
+  other = cfg;
+  other.prime = kPrime30B;
+  EXPECT_THROW(tiled_partition_rank(other), CheckpointError);
+  other = cfg;
+  other.field = RankField::kGf2;
+  EXPECT_THROW(tiled_partition_rank(other), CheckpointError);
+}
+
+TEST(TiledRank, MemoryBudgetShrinksChunksNotResults) {
+  const std::string dir = test_dir();
+  TiledRankConfig cfg = base_config(7, RankField::kModp, 64);
+  const TiledRankReport unlimited = tiled_partition_rank(cfg);
+
+  // Tight budget: one 64-row mod-p tile of M_7 needs ~64 * 877 * 4 bytes
+  // working + staging + bits; 2 MiB forces the smallest chunk sizes.
+  cfg.dir = dir;
+  cfg.mem_budget_bytes = 2ULL << 20;
+  const TiledRankReport tight = tiled_partition_rank(cfg);
+  EXPECT_EQ(tight.rank, unlimited.rank);
+  EXPECT_TRUE(tight.full_rank);
+  EXPECT_LE(tight.peak_resident_bytes, cfg.mem_budget_bytes);
+
+  // A budget no tile can fit is a typed refusal naming budget and footprint.
+  TiledRankConfig starved = base_config(7, RankField::kModp, 64);
+  starved.mem_budget_bytes = 64 << 10;
+  try {
+    tiled_partition_rank(starved);
+    FAIL() << "expected ResourceBudgetError";
+  } catch (const ResourceBudgetError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("budget"), std::string::npos) << what;
+    EXPECT_NE(what.find("tile-rows"), std::string::npos) << what;
+  }
+}
+
+TEST(TiledRank, InterruptFlagStopsBetweenTiles) {
+  volatile std::sig_atomic_t flag = 0;
+  TiledRankConfig cfg = base_config(6, RankField::kModp, 50);
+  cfg.dir = test_dir();
+  cfg.interrupt = &flag;
+  std::size_t fired = 0;
+  cfg.progress = [&](std::size_t done, std::size_t, std::size_t) {
+    fired = done;
+    flag = 1;  // raise after the first tile completes
+  };
+  const TiledRankReport report = tiled_partition_rank(cfg);
+  EXPECT_EQ(fired, 1u);
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.tiles_run, 1u);
+
+  // The interrupt left a valid checkpoint: resume finishes the job with the
+  // canonical certificate.
+  cfg.interrupt = nullptr;
+  cfg.progress = nullptr;
+  cfg.resume = true;
+  const TiledRankReport resumed = tiled_partition_rank(cfg);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.rank, bell_number_u64(6));
+  const TiledRankReport clean = tiled_partition_rank(base_config(6, RankField::kModp, 50));
+  EXPECT_EQ(resumed.rank, clean.rank);
+}
+
+TEST(TiledRank, FieldNamesRoundTrip) {
+  EXPECT_STREQ(rank_field_name(RankField::kGf2), "gf2");
+  EXPECT_STREQ(rank_field_name(RankField::kModp), "modp");
+  EXPECT_EQ(parse_rank_field("gf2"), RankField::kGf2);
+  EXPECT_EQ(parse_rank_field("modp"), RankField::kModp);
+  EXPECT_EQ(parse_rank_field("gf3"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace bcclb

@@ -32,6 +32,7 @@
 // between job batches: the run flushes a final checkpoint, prints the resume
 // command, and exits 130 instead of dying dirty.
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -159,6 +160,153 @@ int cmd_rank(std::size_t n) {
   return 0;
 }
 
+int usage();
+
+// Set by the SIGINT/SIGTERM handler, polled by CampaignRunner between job
+// batches and by the tiled rank engine between tiles. sig_atomic_t is the
+// only type async-signal-safe to write from a handler; everything else
+// (checkpoint flush, messaging) happens on the main thread once the runner
+// notices the flag.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void on_campaign_signal(int) { g_interrupted = 1; }
+
+// Flag-based `rank --n N …`: the out-of-core tiled elimination
+// (linalg/tiled_rank.h). Streams M_n tile by tile, checkpoints into --dir,
+// and prints/writes a rank certificate whose digest is bit-identical across
+// thread counts and across SIGKILL + --resume.
+int cmd_rank_tiled(int argc, char** argv) {
+  TiledRankConfig config;
+  std::optional<std::size_t> n;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (flag == "--n") {
+      n = parse_size(next());
+      if (!n) return usage();
+    } else if (flag == "--field") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      const auto field = parse_rank_field(value);
+      if (!field) {
+        std::fprintf(stderr, "unknown field '%s'; options: gf2 modp\n", value);
+        return usage();
+      }
+      config.field = *field;
+    } else if (flag == "--prime") {
+      const auto p = parse_u64(next());
+      if (!p) return usage();
+      config.prime = *p;
+    } else if (flag == "--tile-rows") {
+      const auto k = parse_size(next());
+      if (!k || *k == 0) return usage();
+      config.tile_rows = *k;
+    } else if (flag == "--dir") {
+      const char* value = next();
+      if (value == nullptr || *value == '\0') return usage();
+      config.dir = value;
+    } else if (flag == "--resume") {
+      config.resume = true;
+    } else if (flag == "--threads") {
+      const auto t = parse_unsigned(next());
+      if (!t) return usage();
+      config.threads = *t;
+    } else if (flag == "--mem-budget") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      const auto budget = parse_mem_bytes(value);
+      if (!budget) return usage();
+      config.mem_budget_bytes = *budget;
+    } else {
+      std::fprintf(stderr, "unknown rank flag '%s'\n", flag.c_str());
+      return usage();
+    }
+  }
+  if (!n) return usage();
+  config.n = *n;
+  if (config.resume && config.dir.empty()) {
+    std::fprintf(stderr, "rank --resume needs --dir <dir> (the checkpoint lives there)\n");
+    return usage();
+  }
+
+  // BCCLB_MEM_BUDGET is a real resource contract, not a tuning hint: a
+  // malformed value must fail loudly rather than silently run unbounded.
+  if (config.mem_budget_bytes == 0) {
+    if (const char* env = std::getenv("BCCLB_MEM_BUDGET")) {
+      const auto budget = parse_mem_bytes(env);
+      if (!budget) {
+        std::fprintf(stderr, "malformed BCCLB_MEM_BUDGET '%s' (want bytes with optional K/M/G)\n",
+                     env);
+        return 2;
+      }
+      config.mem_budget_bytes = *budget;
+    }
+  }
+  // Test hooks mirroring the campaign runner's: strict-parsed, ignored when
+  // malformed. The delay widens the SIGKILL window for rank_smoke.sh.
+  if (const char* env = std::getenv("BCCLB_RANK_STOP_AFTER")) {
+    if (const auto v = parse_size(env)) config.stop_after_tiles = *v;
+  }
+  if (const char* env = std::getenv("BCCLB_RANK_TILE_DELAY_MS")) {
+    if (const auto v = parse_u64(env)) config.inter_tile_delay_ns = *v * 1'000'000ULL;
+  }
+
+  std::signal(SIGINT, on_campaign_signal);
+  std::signal(SIGTERM, on_campaign_signal);
+  config.interrupt = &g_interrupted;
+  config.progress = [](std::size_t done, std::size_t total, std::size_t rank) {
+    std::fprintf(stderr, "tile %zu/%zu eliminated, rank %zu\n", done, total, rank);
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const TiledRankReport report = tiled_partition_rank(config);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  if (!report.complete) {
+    if (g_interrupted) {
+      std::fprintf(stderr,
+                   "interrupted after %zu/%zu tiles (rank so far %zu): checkpoint flushed\n"
+                   "resume with: bcclb rank --n %zu --field %s --tile-rows %zu --dir %s --resume\n",
+                   report.tiles_resumed + report.tiles_run, report.tiles_total, report.rank,
+                   config.n, rank_field_name(config.field), config.tile_rows, config.dir.c_str());
+      return 130;
+    }
+    std::printf("stopped after %zu/%zu tiles (rank so far %zu); checkpoint in %s\n",
+                report.tiles_resumed + report.tiles_run, report.tiles_total, report.rank,
+                config.dir.c_str());
+    return 0;
+  }
+
+  char certificate[512];
+  std::snprintf(certificate, sizeof(certificate),
+                "bcclb rank certificate v1\n"
+                "matrix M_%zu\n"
+                "dimension %zu\n"
+                "field %s\n"
+                "prime %llu\n"
+                "tile-rows %zu\n"
+                "tiles %zu\n"
+                "rank %zu\n"
+                "full-rank %s\n"
+                "certificate %s\n",
+                config.n, report.dimension, rank_field_name(config.field),
+                static_cast<unsigned long long>(
+                    config.field == RankField::kModp ? config.prime : 0),
+                config.tile_rows, report.tiles_total, report.rank,
+                report.full_rank ? "yes" : "no", report.certificate_digest.c_str());
+  std::fputs(certificate, stdout);
+  std::printf("tiles run %zu, resumed %zu; peak resident %.1f MiB; wall %.3f s\n",
+              report.tiles_run, report.tiles_resumed,
+              static_cast<double>(report.peak_resident_bytes) / (1024.0 * 1024.0), wall_s);
+  if (!config.dir.empty()) {
+    const std::string path = config.dir + "/rank.txt";
+    write_file_atomic(path, certificate);
+    std::printf("certificate written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
 int cmd_info(std::size_t n, double keep) {
   const auto r = partition_comp_information(n, keep);
   std::printf("H(PA) = %.3f bits, realized error = %.3f\n", r.h_pa, r.realized_error);
@@ -256,14 +404,6 @@ int cmd_faults(std::size_t n, unsigned b, std::uint64_t seed) {
   }
   return 0;
 }
-
-// Set by the SIGINT/SIGTERM handler, polled by CampaignRunner between job
-// batches. sig_atomic_t is the only type async-signal-safe to write from a
-// handler; everything else (checkpoint flush, messaging) happens on the main
-// thread once the runner notices the flag.
-volatile std::sig_atomic_t g_interrupted = 0;
-
-extern "C" void on_campaign_signal(int) { g_interrupted = 1; }
 
 int cmd_campaign_run(const char* dir, std::uint64_t seed, bool resume) {
   std::signal(SIGINT, on_campaign_signal);
@@ -810,6 +950,8 @@ int usage() {
                "  kt0    <n> <t> <adversary>   (6 <= n <= 9)\n"
                "  rules  <n> <t> <adversary>   (6 <= n <= 9)\n"
                "  rank   <n>\n"
+               "  rank   --n N [--field gf2|modp] [--tile-rows K] [--dir D] [--resume]\n"
+               "         [--threads T] [--prime P] [--mem-budget BYTES]\n"
                "  info   <n> [keep=1.0]        (n <= 10)\n"
                "  reduce <n> [seed=1]\n"
                "  upper  <n> <b> [seed=1]\n"
@@ -835,7 +977,8 @@ int usage() {
                "adversaries: silent id-bits hashed-id coin-xor-id port-parity echo state-hash\n"
                "families: one-cycle two-cycle multi-cycle random-regular\n"
                "numeric arguments must be whole in-range numbers\n"
-               "campaign honours BCCLB_THREADS and BCCLB_MEM_BUDGET (bytes, K/M/G suffix);\n"
+               "campaign and rank --n honour BCCLB_THREADS and BCCLB_MEM_BUDGET\n"
+               "  (bytes, K/M/G suffix);\n"
                "serve honours BCCLB_MEM_BUDGET for the artifact cache and BCCLB_SERVE_FAULTS\n"
                "  for deterministic chaos injection (see DESIGN.md §8);\n"
                "sim honours BCCLB_SIM_N, BCCLB_SIM_SEED, BCCLB_SIM_FAMILY (flags override)\n");
@@ -873,6 +1016,9 @@ int dispatch(int argc, char** argv) {
     return cmd_rules(*n, *t, *kind);
   }
   if (cmd == "rank" && argc >= 3) {
+    // Flag form (`rank --n 9 …`) is the out-of-core tiled elimination;
+    // positional form (`rank 7`) keeps the legacy dense summary.
+    if (argv[2][0] == '-') return cmd_rank_tiled(argc, argv);
     const auto n = parse_size(argv[2]);
     if (!n) return usage();
     return cmd_rank(*n);
