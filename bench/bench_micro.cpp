@@ -366,6 +366,21 @@ void BM_CoalescePlan(benchmark::State& state) {
 }
 BENCHMARK(BM_CoalescePlan)->Arg(64)->Arg(1024);
 
+// One fitness evaluation of a strategy table: the search inner loop — every
+// canonical instance at n through the RoundEngine plus the serial exact
+// tally. Budget planning for `bcclb search` reads straight off this number.
+void BM_StrategyEval(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const FitnessOracle oracle(n, 2);
+  const BatchRunner runner(1);
+  Rng rng(2019);
+  const StrategyTable table = random_strategy(static_cast<std::uint32_t>(n), 2, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.evaluate(table, runner));
+  }
+}
+BENCHMARK(BM_StrategyEval)->Arg(6)->Arg(7)->Unit(benchmark::kMillisecond);
+
 void BM_RandomizedPlsVerify(benchmark::State& state) {
   Rng rng(9);
   const BccInstance inst = BccInstance::kt1(random_one_cycle(64, rng).to_graph());

@@ -87,6 +87,36 @@ for id in 0 1 2; do
 done
 echo "   warm pass clean across all 3 shards"
 
+# Cluster-wide p99 / cache hit-rate gate against the checked-in baseline.
+# The latency ceiling scales with BCCLB_CLUSTER_TOLERANCE (default 3.0) to
+# absorb CI jitter; the hit-rate floor is absolute because the warm mix is
+# seed-deterministic — a miss there is a cache or key-affinity regression,
+# not noise.
+echo "== phase A2: p99 / hit-rate gate vs results/cluster_baseline.json"
+BCCLB_CLUSTER_TOLERANCE="${BCCLB_CLUSTER_TOLERANCE:-3.0}" \
+python3 - "$WORK/warm.json" results/cluster_baseline.json <<'PY'
+import json, os, sys
+rep = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))["warm"]
+tol = float(os.environ["BCCLB_CLUSTER_TOLERANCE"])
+s = rep["serve"]
+p99 = next(b["real_time"] for b in rep["benchmarks"] if b["name"] == "serve/latency_p99")
+hit = (s["ok"] - s["cold"]) / s["ok"]
+ceiling = base["latency_p99_ms"] * tol
+floor = base["hit_rate_min"]
+failures = []
+if p99 > ceiling:
+    failures.append(f"p99 {p99:.1f} ms > ceiling {ceiling:.1f} ms "
+                    f"(baseline {base['latency_p99_ms']} * tolerance {tol})")
+if hit < floor:
+    failures.append(f"hit rate {hit:.3f} < floor {floor} "
+                    f"(ok {s['ok']}, cold {s['cold']})")
+for f in failures:
+    print("FAIL:", f, file=sys.stderr)
+print(f"   p99 {p99:.1f} ms (ceiling {ceiling:.1f}), hit rate {hit:.3f} (floor {floor})")
+sys.exit(1 if failures else 0)
+PY
+
 echo "== phase B: SIGKILL backend 1 mid-load; the fleet must absorb it"
 "$BCCLB" loadgen --socket "$ROUTER_SOCK" --router --requests 30000 --concurrency 4 \
   --seed "$SEED" --zipf 1.2 --retries 25 --backoff-ms 20 \

@@ -70,6 +70,10 @@
 #include "partition/sampling.h"                  // IWYU pragma: export
 #include "partition/set_partition.h"             // IWYU pragma: export
 #include "partition/unrank.h"                    // IWYU pragma: export
+#include "search/campaign.h"                     // IWYU pragma: export
+#include "search/engine.h"                       // IWYU pragma: export
+#include "search/fitness.h"                      // IWYU pragma: export
+#include "search/strategy.h"                     // IWYU pragma: export
 #include "serve/artifact_cache.h"                // IWYU pragma: export
 #include "serve/backend_pool.h"                  // IWYU pragma: export
 #include "serve/chaos.h"                         // IWYU pragma: export

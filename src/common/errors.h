@@ -19,6 +19,9 @@
 //   CheckpointError         — a campaign snapshot is missing, truncated,
 //                             corrupt, or inconsistent with its campaign
 //   ResourceBudgetError     — a job's footprint exceeds the memory budget
+//   VerifierAnomalyError    — a search candidate scored below its own
+//                             certificate floor (a verifier bug, not a
+//                             discovery; see DESIGN.md §11)
 //   ServeError              — base of the serving daemon's overload and
 //                             protocol taxonomy (src/serve/):
 //     QueueFullError        — the admission queue is at capacity (backpressure)
@@ -143,6 +146,17 @@ class ResourceBudgetError : public BcclbError {
  public:
   using BcclbError::BcclbError;
   const char* kind() const noexcept override { return "ResourceBudgetError"; }
+};
+
+// A strategy-search candidate scored better than its own Theorem 3.1
+// matching certificate allows — mathematically impossible, so the oracle (or
+// the certificate checker) is broken. The search throws this instead of
+// reporting a "discovery": the anomaly policy of DESIGN.md §11. Never
+// transient — a broken verifier must stop the campaign, not be retried.
+class VerifierAnomalyError : public BcclbError {
+ public:
+  using BcclbError::BcclbError;
+  const char* kind() const noexcept override { return "VerifierAnomalyError"; }
 };
 
 // ---- Serving daemon taxonomy (src/serve/) -----------------------------------

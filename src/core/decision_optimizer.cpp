@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bcc/batch_runner.h"
+#include "bcc/checkpoint.h"
 #include "common/check.h"
 #include "crossing/ported_instance.h"
 #include "graph/cycle_structure.h"
@@ -15,8 +16,10 @@ namespace bcclb {
 namespace {
 
 struct InstanceStates {
-  bool is_yes = false;       // one-cycle (connected) instance
-  double mass = 0.0;         // µ weight
+  bool is_yes = false;  // one-cycle (connected) instance
+  // µ mass scaled by 2·|V1|·|V2|: |V2| for a one-cycle instance, |V1| for a
+  // two-cycle one. Exact integers, so greedy gains tie exactly.
+  std::uint64_t weight = 0;
   std::vector<std::uint32_t> states;  // state ids of its n vertices
 };
 
@@ -32,8 +35,11 @@ DecisionOptimizerReport optimize_decision_rule(std::size_t n, unsigned t,
 
   const auto v1 = all_one_cycle_structures(n);
   const auto v2 = all_two_cycle_structures(n);
-  const double mu1 = 0.5 / static_cast<double>(v1.size());
-  const double mu2 = 0.5 / static_cast<double>(v2.size());
+  // Scaled-integer masses: µ1 = |V2|/denom and µ2 = |V1|/denom with
+  // denom = 2·|V1|·|V2| (fits u64 comfortably for n <= 9).
+  const std::uint64_t w_yes = v2.size();
+  const std::uint64_t w_no = v1.size();
+  const std::uint64_t denom = 2 * static_cast<std::uint64_t>(v1.size()) * v2.size();
 
   // Per-instance simulation + signature extraction is embarrassingly
   // parallel — batch it, then intern state ids serially in the original
@@ -60,7 +66,7 @@ DecisionOptimizerReport optimize_decision_rule(std::size_t n, unsigned t,
   for (std::size_t i = 0; i < total; ++i) {
     InstanceStates rec;
     rec.is_yes = i < v1.size();
-    rec.mass = rec.is_yes ? mu1 : mu2;
+    rec.weight = rec.is_yes ? w_yes : w_no;
     rec.states.reserve(n);
     for (const std::string& sig : sigs[i]) {
       const auto [it, inserted] =
@@ -99,16 +105,21 @@ DecisionOptimizerReport optimize_decision_rule(std::size_t n, unsigned t,
   }
   std::vector<std::uint32_t> no_hits(instances.size(), 0);  // chosen states per instance
   std::vector<bool> chosen(num_states, false);
-  double error = 0.5;  // always-YES errs on all NO mass
+  // Always-YES errs on all NO mass: 0.5 scaled by denom.
+  std::uint64_t error_scaled = static_cast<std::uint64_t>(v1.size()) * v2.size();
   for (;;) {
-    double best_gain = 1e-15;
+    // Exact integer gains; the ascending scan with a strict compare makes
+    // "lowest state id wins" the tie rule, so equally-scoring rule tables
+    // resolve identically on every run and at every BCCLB_THREADS.
+    std::int64_t best_gain = 0;
     std::size_t best_state = num_states;
     for (std::size_t s = 0; s < num_states; ++s) {
       if (chosen[s]) continue;
-      double gain = 0.0;
+      std::int64_t gain = 0;
       for (std::uint32_t idx : instances_of_state[s]) {
         if (no_hits[idx] > 0) continue;  // already outputs NO
-        gain += instances[idx].is_yes ? -instances[idx].mass : instances[idx].mass;
+        const std::int64_t w = static_cast<std::int64_t>(instances[idx].weight);
+        gain += instances[idx].is_yes ? -w : w;
       }
       if (gain > best_gain) {
         best_gain = gain;
@@ -118,14 +129,33 @@ DecisionOptimizerReport optimize_decision_rule(std::size_t n, unsigned t,
     if (best_state == num_states) break;
     chosen[best_state] = true;
     ++report.states_voting_no;
+    report.chosen_no_states.push_back(static_cast<std::uint32_t>(best_state));
     for (std::uint32_t idx : instances_of_state[best_state]) {
       if (no_hits[idx] == 0) {
-        error += instances[idx].is_yes ? instances[idx].mass : -instances[idx].mass;
+        if (instances[idx].is_yes) {
+          error_scaled += instances[idx].weight;
+        } else {
+          error_scaled -= instances[idx].weight;
+        }
       }
       ++no_hits[idx];
     }
   }
-  report.greedy_error = error;
+  report.greedy_error_num = error_scaled;
+  report.greedy_error_den = denom;
+  report.greedy_error = static_cast<double>(error_scaled) / static_cast<double>(denom);
+
+  // The rule's content address: FNV-1a over the sorted NO-voting ids as
+  // little-endian u32s. Sorted, so the digest names the *rule table*, not
+  // the greedy selection order.
+  std::vector<std::uint32_t> sorted_rule = report.chosen_no_states;
+  std::sort(sorted_rule.begin(), sorted_rule.end());
+  std::string rule_bytes;
+  rule_bytes.reserve(sorted_rule.size() * 4);
+  for (const std::uint32_t s : sorted_rule) {
+    for (int b = 0; b < 4; ++b) rule_bytes.push_back(static_cast<char>((s >> (8 * b)) & 0xff));
+  }
+  report.rule_digest = fnv1a(rule_bytes);
   return report;
 }
 

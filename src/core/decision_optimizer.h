@@ -16,10 +16,18 @@
 // greedy always lies between floor and the always-YES rule's 0.5; how close
 // it gets to floor quantifies how much of the certified indistinguishability
 // is actually exploitable.
+// The greedy loop works in exact integers: scaling the µ masses by
+// 2·|V1|·|V2| makes every marginal gain the integer
+// (newly-covered NO count)·|V1| − (newly-broken YES count)·|V2|, so equal
+// gains are *exact* ties (no floating-point noise ordering them) and the
+// explicit tie-break — lowest state id wins — makes the chosen rule, its
+// digest, and greedy_error bit-identical across BCCLB_THREADS and across
+// runs. The search subsystem (src/search/) leans on the same convention.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "bcc/simulator.h"
 
@@ -35,6 +43,16 @@ struct DecisionOptimizerReport {
   // Instances whose full state multiset coincides with an instance of the
   // other class — no rule whatsoever can separate those pairs.
   std::size_t inseparable_pairs = 0;
+  // Exact value of greedy_error: greedy_error_num / greedy_error_den with
+  // greedy_error_den = 2·|V1|·|V2|. The double above is derived from these.
+  std::uint64_t greedy_error_num = 0;
+  std::uint64_t greedy_error_den = 1;
+  // The rule itself: dense state ids voting NO, in greedy selection order
+  // (ties resolved toward the lowest id). State ids are interned in the
+  // deterministic v1-then-v2 instance order, so this list — and its digest —
+  // identifies the rule table across runs and thread counts.
+  std::vector<std::uint32_t> chosen_no_states;
+  std::uint64_t rule_digest = 0;  // FNV-1a over the sorted chosen ids
 };
 
 // Exhaustive over one-/two-cycle structures with canonical wirings; n <= 9.

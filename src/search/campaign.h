@@ -1,0 +1,35 @@
+// The standard strategy-search campaign: the long-lived adversary hunt as a
+// crash-recoverable workload.
+//
+// Each job is one (n, rounds, driver) cell of the search, run through
+// run_search with a seed derived from the campaign seed and the job name —
+// so every job is a pure function of the campaign seed, which is exactly
+// the CampaignRunner resume contract: kill -9 the campaign at any point and
+// `bcclb search --resume <dir>` completes it with artifacts bit-identical
+// to an uninterrupted run. results/search_golden.json pins the digests;
+// `bcclb search --verify` re-runs the campaign in memory and diffs.
+#pragma once
+
+#include <cstdint>
+
+#include "core/campaign.h"
+#include "search/engine.h"
+
+namespace bcclb {
+
+// One job per cell; see the .cpp for the cell list. Every confirmed
+// negative result (best error >= certificate floor) in the completed
+// campaign is a regression fixture via the golden store.
+Campaign search_campaign(std::uint64_t seed = 2019);
+
+// A single ad-hoc cell as a one-job campaign (the CLI's explicit
+// --n/--rounds/--driver form); the job name encodes the cell so checkpoints
+// from different cells cannot be mixed.
+Campaign single_cell_search_campaign(const SearchConfig& config);
+
+// The per-job seed derivation (campaign seed chained through the job name's
+// FNV-1a), exposed so tests and EXPERIMENTS.md can reproduce one cell
+// without running the whole campaign.
+std::uint64_t search_job_seed(std::uint64_t campaign_seed, const std::string& job_name);
+
+}  // namespace bcclb

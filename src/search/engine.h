@@ -1,0 +1,84 @@
+// Seeded strategy-search drivers over the StrategyTable genome.
+//
+// Three drivers share one determinism contract: all randomness comes from a
+// single xoshiro Rng consumed on the driver thread, candidate evaluation
+// fans out across instances through the caller's BatchRunner, and ties break
+// toward the lexicographically smaller serialization — so a run is a pure
+// function of its SearchConfig and is bit-identical at any BCCLB_THREADS.
+//
+//   kRandom     — budget independent seeded samples of the genome space.
+//   kEvolution  — tournament selection, row-range crossover, bit-flip
+//                 mutation, one elite; generations are a serial loop, so the
+//                 Rng stream never races.
+//   kExhaustive — lexicographic enumeration of the entire genome space
+//                 (3^(rounds·K) · 2^K tables; refuses spaces over the cap).
+//                 The ground truth the smaller searches are tested against.
+//
+// Every strict improvement is checked against its own Theorem 3.1 matching
+// certificate (FitnessOracle::check_candidate): a score below the certified
+// floor aborts the run with VerifierAnomalyError instead of reporting a
+// "discovery" — the theorems say no such candidate exists, so finding one
+// means the verifier is broken.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "search/fitness.h"
+#include "search/strategy.h"
+
+namespace bcclb {
+
+enum class SearchDriver : std::uint8_t {
+  kRandom = 0,
+  kEvolution = 1,
+  kExhaustive = 2,
+};
+
+const char* search_driver_name(SearchDriver driver);
+
+struct SearchConfig {
+  std::size_t n = 6;
+  unsigned rounds = 1;
+  unsigned bandwidth = 1;      // reserved: only b = 1 is implemented
+  std::uint32_t buckets = 4;   // K
+  std::uint64_t seed = 2019;
+  std::uint64_t budget = 64;   // candidate evaluations (ignored by kExhaustive)
+  SearchDriver driver = SearchDriver::kEvolution;
+  // Evolutionary knobs. population is clamped to budget; tournament draws
+  // per parent selection.
+  std::uint32_t population = 12;
+  std::uint32_t tournament = 3;
+  unsigned threads = 0;  // BatchRunner width for evaluation; 0 = default
+};
+
+struct SearchOutcome {
+  StrategyTable best;
+  FitnessResult best_score;
+  std::uint64_t evaluated = 0;     // candidates scored
+  std::uint64_t improvements = 0;  // strict err_scaled drops of the global best
+  // The final best's certified floor (scaled to best_score.denom); the
+  // invariant best_score.err_scaled >= floor_scaled held at every
+  // improvement, or the run would have thrown VerifierAnomalyError.
+  std::uint64_t floor_scaled = 0;
+};
+
+// Enumerable-space cap for kExhaustive (3^(rounds·K) · 2^K candidates).
+inline constexpr std::uint64_t kMaxExhaustiveCandidates = 1u << 18;
+
+// Runs the configured driver to completion. Throws VerifierAnomalyError per
+// the anomaly policy; BCCLB_REQUIRE-style errors for unusable configs
+// (bandwidth != 1, n outside the oracle's range, exhaustive space over cap).
+SearchOutcome run_search(const SearchConfig& config);
+
+// As run_search, but reuses a prebuilt oracle (must match config.n/rounds) —
+// the serve handler and tests evaluate several configs per oracle.
+SearchOutcome run_search(const SearchConfig& config, const FitnessOracle& oracle);
+
+// The canonical text artifact for a search outcome: config echo, score as an
+// exact fraction, certificate floor, and the serialized best table. This is
+// the byte string campaign jobs emit, the kBestStrategy handler serves, and
+// the golden digests certify.
+std::string render_search_artifact(const SearchConfig& config, const SearchOutcome& outcome);
+
+}  // namespace bcclb

@@ -1,0 +1,96 @@
+#include "search/fitness.h"
+
+#include <algorithm>
+#include <string>
+
+#include "bcc/checkpoint.h"
+#include "common/check.h"
+#include "common/errors.h"
+#include "core/kt0_engine.h"
+#include "crossing/ported_instance.h"
+#include "graph/cycle_structure.h"
+
+namespace bcclb {
+
+FitnessOracle::FitnessOracle(std::size_t n, unsigned rounds) : n_(n), rounds_(rounds) {
+  BCCLB_REQUIRE(n >= 6 && n <= 9, "fitness oracle: exhaustive evaluation supports 6 <= n <= 9");
+  BCCLB_REQUIRE(rounds >= 1, "fitness oracle: rounds must be >= 1");
+  const auto v1 = all_one_cycle_structures(n);
+  const auto v2 = all_two_cycle_structures(n);
+  v1_count_ = v1.size();
+  v2_count_ = v2.size();
+  denom_ = 2 * static_cast<std::uint64_t>(v1_count_) * static_cast<std::uint64_t>(v2_count_);
+  instances_.reserve(v1_count_ + v2_count_);
+  for (const CycleStructure& cs : v1) instances_.push_back(canonical_kt0_instance(cs));
+  for (const CycleStructure& cs : v2) instances_.push_back(canonical_kt0_instance(cs));
+}
+
+FitnessResult FitnessOracle::evaluate(const StrategyTable& table,
+                                      const BatchRunner& runner) const {
+  const AlgorithmFactory factory = strategy_factory(table);
+  std::vector<std::uint8_t> wrong(instances_.size(), 0);
+  runner.for_each_with_engine(instances_.size(), [&](std::size_t i, RoundEngine& eng) {
+    const RunResult res = eng.run(instances_[i], 1, factory, rounds_);
+    const bool is_yes = i < v1_count_;
+    wrong[i] = res.decision != is_yes ? 1 : 0;
+  });
+  // Serial tally in instance order: the reduction is over fixed-position
+  // bytes, so the result cannot depend on worker scheduling.
+  FitnessResult result;
+  result.denom = denom_;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (!wrong[i]) continue;
+    if (i < v1_count_) {
+      ++result.wrong_yes;
+    } else {
+      ++result.wrong_no;
+    }
+  }
+  result.err_scaled = static_cast<std::uint64_t>(result.wrong_yes) * v2_count_ +
+                      static_cast<std::uint64_t>(result.wrong_no) * v1_count_;
+  return result;
+}
+
+std::uint64_t FitnessOracle::certificate_floor_scaled(const StrategyTable& table) const {
+  const Kt0MatchingReport cert =
+      kt0_matching_experiment(n_, rounds_, strategy_factory(table));
+  // |M| pairs each absorb min(µ1, µ2) = min(|V1|, |V2|) / denom.
+  return static_cast<std::uint64_t>(cert.max_matching) *
+         std::min<std::uint64_t>(v1_count_, v2_count_);
+}
+
+std::uint64_t FitnessOracle::check_candidate(const StrategyTable& table,
+                                             const FitnessResult& score) const {
+  const std::uint64_t floor_scaled = certificate_floor_scaled(table);
+  if (score.err_scaled >= floor_scaled) return floor_scaled;
+
+  // Impossible score: re-verify on the exact path, serially, on a fresh
+  // engine. Either outcome below is a toolchain bug.
+  const BatchRunner serial(1);
+  const FitnessResult replay = evaluate(table, serial);
+  const std::string detail =
+      "strategy " + digest_hex(strategy_digest(table)) + " at n=" + std::to_string(n_) +
+      " t=" + std::to_string(rounds_) + ": scored " + std::to_string(score.err_scaled) + "/" +
+      std::to_string(denom_) + " below its certificate floor " +
+      std::to_string(floor_scaled) + "/" + std::to_string(denom_);
+  if (replay != score) {
+    throw VerifierAnomalyError(
+        detail + ", and the serial re-evaluation disagrees with the original score (" +
+        std::to_string(replay.err_scaled) + "/" + std::to_string(denom_) +
+        ") — the fitness oracle is nondeterministic");
+  }
+  throw VerifierAnomalyError(
+      detail + ", reproduced serially — the certificate checker or the oracle is wrong; "
+               "report as a verifier bug, not a discovery");
+}
+
+bool candidate_improves(const FitnessResult& incumbent_score, const std::string& incumbent_key,
+                        const FitnessResult& challenger_score,
+                        const std::string& challenger_key) {
+  if (challenger_score.err_scaled != incumbent_score.err_scaled) {
+    return challenger_score.err_scaled < incumbent_score.err_scaled;
+  }
+  return challenger_key < incumbent_key;
+}
+
+}  // namespace bcclb

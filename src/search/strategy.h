@@ -1,0 +1,77 @@
+// The searchable strategy genome: decision-rule tables over hashed states.
+//
+// The paper's theorems quantify over *all* t-round BCC(1) algorithms; the
+// repository's hand-written adversary family (bcc/algorithms/
+// two_cycle_adversaries.h) samples seven points of that space, and the E17
+// decision optimizer (core/decision_optimizer.h) optimizes only the final
+// vote for a *fixed* broadcast behaviour. A StrategyTable generalizes both
+// into one finite, enumerable, mutable object: a table mapping
+// (round, hashed-vertex-state bucket) -> broadcast action {silent, 0, 1},
+// plus a vote table mapping the final state bucket -> YES/NO. Every
+// deterministic KT-0 algorithm whose behaviour factors through the hash
+// buckets is expressible; with enough buckets the representation is
+// complete for the enumerable instance sizes.
+//
+// Tables serialize to a canonical text form whose FNV-1a is the strategy's
+// content address — two tables behave identically on every instance iff
+// their serializations match, so digests index the best-known-strategy
+// artifacts and dedup search populations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bcc/round_engine.h"
+#include "common/random.h"
+
+namespace bcclb {
+
+// Broadcast actions, in the order mutation cycles through them.
+inline constexpr std::uint8_t kActSilent = 0;
+inline constexpr std::uint8_t kActSend0 = 1;
+inline constexpr std::uint8_t kActSend1 = 2;
+
+struct StrategyTable {
+  std::uint32_t n = 0;        // instance size the table was searched for
+  std::uint32_t rounds = 0;   // t
+  std::uint32_t buckets = 0;  // K: state-hash buckets per round
+  // rounds * K entries, row-major by round: action for (round r, bucket k)
+  // at [r * K + k]. Values are kActSilent / kActSend0 / kActSend1.
+  std::vector<std::uint8_t> broadcast;
+  // K entries: vote_no[k] != 0 means a vertex whose final state hashes to
+  // bucket k votes NO (the system answers the AND over vertices).
+  std::vector<std::uint8_t> vote_no;
+
+  friend bool operator==(const StrategyTable&, const StrategyTable&) = default;
+};
+
+// Structural validity: sizes match (n, rounds, buckets) and every cell holds
+// a legal value. Throws BCCLB_REQUIRE-style CheckFailure on violation.
+void validate_strategy(const StrategyTable& table);
+
+// Canonical text serialization (bcclb-strategy-v1). Deterministic and
+// self-describing; strategy_digest() is its FNV-1a.
+std::string serialize_strategy(const StrategyTable& table);
+std::uint64_t strategy_digest(const StrategyTable& table);
+
+// Seeded constructors and genetic operators. All consume the Rng serially —
+// the search drivers draw from one generator on one thread, so results are
+// independent of BCCLB_THREADS by construction.
+StrategyTable random_strategy(std::uint32_t n, std::uint32_t rounds, std::uint32_t buckets,
+                              Rng& rng);
+// Flips `flips` uniformly chosen cells to a uniformly chosen *different*
+// legal value (broadcast cells cycle over 3 actions, vote cells over 2).
+void mutate_strategy(StrategyTable& table, Rng& rng, unsigned flips);
+// Row-range crossover: child takes a's broadcast rows [0, cut) and b's rows
+// [cut, rounds), with the vote table taken from one parent uniformly.
+StrategyTable crossover_strategy(const StrategyTable& a, const StrategyTable& b, Rng& rng);
+
+// The VertexAlgorithm a table drives: a running FNV-1a hash of the vertex's
+// full local history (ID, input ports, everything sent and received with its
+// port) selects the bucket each round; the table supplies the action and the
+// final vote. Thread-safe to call concurrently (each invocation returns an
+// independent vertex); the table is captured by value.
+AlgorithmFactory strategy_factory(StrategyTable table);
+
+}  // namespace bcclb

@@ -14,6 +14,7 @@
 #include "graph/cycle_structure.h"
 #include "linalg/tiled_rank.h"
 #include "partition/bell.h"
+#include "search/engine.h"
 
 namespace bcclb {
 
@@ -205,6 +206,26 @@ std::string rank_tile_artifact(std::uint8_t field_byte, std::uint32_t n, std::ui
   return out;
 }
 
+std::string best_strategy_artifact(std::uint8_t driver_byte, std::uint32_t n,
+                                   std::uint64_t packed, unsigned threads) {
+  // Wire validation bounded the driver byte and every packed field; unpack
+  // the cell and run it to completion. Everything that determines the bytes
+  // (seed, budget, shape) travels in the request, so the artifact is a pure
+  // function of it — the cache-soundness contract every handler obeys.
+  SearchConfig config;
+  config.n = n;
+  config.rounds = static_cast<unsigned>(packed >> 56);
+  config.buckets = static_cast<std::uint32_t>((packed >> 48) & 0xff);
+  config.seed = (packed >> 32) & 0xffff;
+  config.budget = packed & 0xffffffffULL;
+  config.driver = driver_byte == 'r'   ? SearchDriver::kRandom
+                  : driver_byte == 'e' ? SearchDriver::kEvolution
+                                       : SearchDriver::kExhaustive;
+  config.threads = threads;
+  const SearchOutcome outcome = run_search(config);
+  return render_search_artifact(config, outcome);
+}
+
 std::string compute_artifact(const Request& request, unsigned threads) {
   switch (request.type) {
     case RequestType::kClassify:
@@ -222,6 +243,8 @@ std::string compute_artifact(const Request& request, unsigned threads) {
       return sim_implicit_artifact(request.family, request.n, request.packed, threads);
     case RequestType::kRankTile:
       return rank_tile_artifact(request.family, request.n, request.packed, threads);
+    case RequestType::kBestStrategy:
+      return best_strategy_artifact(request.family, request.n, request.packed, threads);
     case RequestType::kStats:
       break;
   }

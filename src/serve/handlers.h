@@ -41,5 +41,11 @@ std::string sim_implicit_artifact(std::uint8_t family, std::uint32_t n, std::uin
 // standalone tile rank over the requested field ('2' = GF(2), 'p' = mod-p).
 std::string rank_tile_artifact(std::uint8_t field_byte, std::uint32_t n, std::uint64_t packed,
                                unsigned threads);
+// Best-known adversary strategy for a bounded seeded search cell: runs the
+// requested driver ('r'/'e'/'x') to completion and renders the search
+// artifact (search/engine.h). Pure in the request — the cell's seed and
+// budget travel in `packed`, so warm and cold responses are byte-identical.
+std::string best_strategy_artifact(std::uint8_t driver_byte, std::uint32_t n,
+                                   std::uint64_t packed, unsigned threads);
 
 }  // namespace bcclb

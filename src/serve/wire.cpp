@@ -70,6 +70,7 @@ const char* request_type_name(RequestType type) {
     case RequestType::kInfo: return "info";
     case RequestType::kSimImplicit: return "sim-implicit";
     case RequestType::kRankTile: return "rank-tile";
+    case RequestType::kBestStrategy: return "best-strategy";
   }
   return "?";
 }
@@ -127,6 +128,11 @@ std::string encode_request_payload(const Request& request) {
       out.push_back(static_cast<char>(request.family));
       append_u32(out, request.n);
       append_u64(out, request.packed);  // (tile_rows << 32) | tile_index
+      break;
+    case RequestType::kBestStrategy:
+      out.push_back(static_cast<char>(request.family));  // the driver byte
+      append_u32(out, request.n);
+      append_u64(out, request.packed);  // (rounds<<56)|(buckets<<48)|(seed<<32)|budget
       break;
   }
   return out;
@@ -293,6 +299,46 @@ Request decode_request(std::uint8_t type, std::string_view payload) {
         throw ProtocolViolationError("rank-tile: tile_index=" + std::to_string(tile_index) +
                                      " beyond the " + std::to_string(tiles) + " tiles of M_" +
                                      std::to_string(request.n));
+      }
+      break;
+    }
+    case RequestType::kBestStrategy: {
+      request.type = RequestType::kBestStrategy;
+      request.family = static_cast<std::uint8_t>(reader.take(1));
+      request.n = static_cast<std::uint32_t>(reader.take(4));
+      request.packed = reader.take(8);
+      if (request.family != 'r' && request.family != 'e' && request.family != 'x') {
+        throw ProtocolViolationError(
+            "best-strategy: unknown driver byte (expected 'r', 'e' or 'x')");
+      }
+      if (request.n < kMinSearchN || request.n > kMaxSearchN) {
+        throw ProtocolViolationError("best-strategy: n=" + std::to_string(request.n) +
+                                     " outside [" + std::to_string(kMinSearchN) + ", " +
+                                     std::to_string(kMaxSearchN) + "]");
+      }
+      const std::uint64_t rounds = request.packed >> 56;
+      const std::uint64_t buckets = (request.packed >> 48) & 0xff;
+      const std::uint64_t budget = request.packed & 0xffffffffULL;
+      if (rounds < 1 || rounds > kMaxSearchRounds) {
+        throw ProtocolViolationError("best-strategy: rounds=" + std::to_string(rounds) +
+                                     " outside [1, " + std::to_string(kMaxSearchRounds) + "]");
+      }
+      if (buckets < 1 || buckets > kMaxSearchBuckets) {
+        throw ProtocolViolationError("best-strategy: buckets=" + std::to_string(buckets) +
+                                     " outside [1, " + std::to_string(kMaxSearchBuckets) + "]");
+      }
+      // The exhaustive driver enumerates its whole space; for the seeded
+      // drivers the budget is the evaluation count and must be positive.
+      if (request.family != 'x' && (budget < 1 || budget > kMaxSearchBudget)) {
+        throw ProtocolViolationError("best-strategy: budget=" + std::to_string(budget) +
+                                     " outside [1, " + std::to_string(kMaxSearchBudget) + "]");
+      }
+      if (request.family == 'x' && !(rounds * buckets <= 6 && buckets <= 4)) {
+        // 3^(rounds·K)·2^K candidates: cap the exhaustive space at
+        // 3^6 · 2^4 = 11664 so a cold build stays interactive.
+        throw ProtocolViolationError(
+            "best-strategy: exhaustive space too large (need rounds*buckets <= 6 and "
+            "buckets <= 4)");
       }
       break;
     }

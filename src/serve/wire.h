@@ -48,6 +48,8 @@ enum class RequestType : std::uint8_t {
   kSimImplicit = 6,  // min-ID flood over an implicit instance (family, n, seed)
   kRankTile = 7,     // one tile of the out-of-core M_n elimination: join bits
                      // digest + standalone tile rank (linalg/tiled_rank.h)
+  kBestStrategy = 8,  // best-known adversary strategy table for a bounded
+                      // seeded search cell (search/engine.h)
 };
 
 const char* request_type_name(RequestType type);
@@ -84,6 +86,9 @@ const char* cache_source_name(CacheSource source);
 //   kSimImplicit — family (an ImplicitFamily byte), n, packed (the spec seed)
 //   kRankTile    — family ('2' for GF(2), 'p' for mod-p), n, packed =
 //                  (tile_rows << 32) | tile_index
+//   kBestStrategy— family (driver: 'r' random, 'e' evolution, 'x'
+//                  exhaustive), n, packed = (rounds << 56) | (buckets << 48)
+//                  | (seed << 32) | budget
 struct Request {
   RequestType type = RequestType::kStats;
   std::uint32_t n = 0;
@@ -153,5 +158,15 @@ inline constexpr std::uint32_t kMaxSimImplicitN = 1u << 20;
 // A rank tile is O(tile_rows * B_n) work; B_8 columns at 4096 rows is the
 // largest tile the daemon can generate and rank interactively.
 inline constexpr std::uint32_t kMaxRankTileRows = 4096;
+// A best-strategy search runs budget evaluations over the exhaustive
+// instance space (|V1| + |V2| engine runs each) plus one Theorem 3.1
+// certificate per improvement; n = 7 at 512 evaluations is the largest cell
+// that stays interactive cold. The bounds keep the handler a pure, bounded
+// function of the request.
+inline constexpr std::uint32_t kMinSearchN = 6;
+inline constexpr std::uint32_t kMaxSearchN = 7;
+inline constexpr std::uint32_t kMaxSearchRounds = 3;
+inline constexpr std::uint32_t kMaxSearchBuckets = 16;
+inline constexpr std::uint32_t kMaxSearchBudget = 512;
 
 }  // namespace bcclb

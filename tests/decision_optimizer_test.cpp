@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "bcc/algorithms/two_cycle_adversaries.h"
 #include "common/mathutil.h"
@@ -90,6 +92,47 @@ TEST(DecisionOptimizer, GreedyRespectsTheMatchingFloor) {
     EXPECT_GE(optimized.greedy_error + 1e-9, matching.matching_error_bound)
         << adversary_kind_name(kind);
   }
+}
+
+TEST(DecisionOptimizer, ReportsTheExactErrorFractionAndTheRuleItself) {
+  const auto factory = two_cycle_adversary_factory(AdversaryKind::kEcho, 1, always_yes_rule());
+  const auto rep = optimize_decision_rule(7, 1, factory);
+  // Exact scaled-integer accounting: denom = 2·|V1|·|V2|, and the double is
+  // derived from the fraction, not accumulated separately.
+  const std::uint64_t v1 = all_one_cycle_structures(7).size();
+  const std::uint64_t v2 = all_two_cycle_structures(7).size();
+  EXPECT_EQ(rep.greedy_error_den, 2 * v1 * v2);
+  EXPECT_DOUBLE_EQ(rep.greedy_error, static_cast<double>(rep.greedy_error_num) /
+                                         static_cast<double>(rep.greedy_error_den));
+  // The rule travels with the report: one chosen id per NO-voting state,
+  // each a real state, and the digest is the FNV-1a of the sorted id bytes.
+  EXPECT_EQ(rep.chosen_no_states.size(), rep.states_voting_no);
+  for (const std::uint32_t s : rep.chosen_no_states) EXPECT_LT(s, rep.num_states);
+  EXPECT_NE(rep.rule_digest, 0u);
+}
+
+TEST(DecisionOptimizer, TieBreaksAndDigestsAreThreadCountInvariant) {
+  // The greedy runs its simulation fan-out on a BatchRunner whose width
+  // comes from BCCLB_THREADS; the exact-integer gains and the lowest-id tie
+  // rule must make every field of the report bit-identical across widths.
+  const auto factory = two_cycle_adversary_factory(AdversaryKind::kEcho, 2, always_yes_rule());
+  const char* saved = std::getenv("BCCLB_THREADS");
+  const std::string saved_value = saved == nullptr ? "" : saved;
+  setenv("BCCLB_THREADS", "1", 1);
+  const auto serial = optimize_decision_rule(7, 2, factory);
+  setenv("BCCLB_THREADS", "8", 1);
+  const auto wide = optimize_decision_rule(7, 2, factory);
+  if (saved == nullptr) {
+    unsetenv("BCCLB_THREADS");
+  } else {
+    setenv("BCCLB_THREADS", saved_value.c_str(), 1);
+  }
+  EXPECT_EQ(serial.chosen_no_states, wide.chosen_no_states);
+  EXPECT_EQ(serial.rule_digest, wide.rule_digest);
+  EXPECT_EQ(serial.greedy_error_num, wide.greedy_error_num);
+  EXPECT_EQ(serial.greedy_error_den, wide.greedy_error_den);
+  EXPECT_EQ(serial.num_states, wide.num_states);
+  EXPECT_EQ(serial.inseparable_pairs, wide.inseparable_pairs);
 }
 
 TEST(DecisionOptimizer, RicherBroadcastsReduceError) {

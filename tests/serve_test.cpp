@@ -33,6 +33,7 @@
 #include "common/errors.h"
 #include "common/random.h"
 #include "linalg/tiled_rank.h"
+#include "search/engine.h"
 #include "serve/artifact_cache.h"
 #include "serve/chaos.h"
 #include "serve/client.h"
@@ -86,6 +87,16 @@ Request rank_tile_request(char field, std::uint32_t n, std::uint64_t tile_rows,
   r.family = static_cast<std::uint8_t>(field);
   r.n = n;
   r.packed = (tile_rows << 32) | tile_index;
+  return r;
+}
+
+Request best_strategy_request(char driver, std::uint32_t n, std::uint64_t rounds,
+                              std::uint64_t buckets, std::uint64_t seed, std::uint64_t budget) {
+  Request r;
+  r.type = RequestType::kBestStrategy;
+  r.family = static_cast<std::uint8_t>(driver);
+  r.n = n;
+  r.packed = (rounds << 56) | (buckets << 48) | (seed << 32) | budget;
   return r;
 }
 
@@ -170,6 +181,7 @@ TEST(Wire, RequestRoundTripsEveryType) {
       }(),
       sim_implicit_request(1, 100, 2019),
       rank_tile_request('p', 7, 256, 2),
+      best_strategy_request('e', 6, 1, 4, 2019, 96),
   };
   for (const Request& request : requests) {
     const std::string frame = encode_request_frame(request);
@@ -261,6 +273,27 @@ TEST(Wire, ValidatesParameterRanges) {
                ProtocolViolationError);
   EXPECT_THROW(decode(rank_tile_request('p', 7, 256, 4)), ProtocolViolationError);
   EXPECT_EQ(decode(rank_tile_request('p', 7, 256, 3)).n, 7u);
+  // best-strategy: bad driver byte, n / rounds / buckets / budget outside the
+  // serving ranges, and an exhaustive cell whose space is too large to build
+  // interactively (rounds*buckets must stay <= 6 with buckets <= 4).
+  EXPECT_THROW(decode(best_strategy_request('z', 6, 1, 4, 1, 32)), ProtocolViolationError);
+  EXPECT_THROW(decode(best_strategy_request('e', kMinSearchN - 1, 1, 4, 1, 32)),
+               ProtocolViolationError);
+  EXPECT_THROW(decode(best_strategy_request('e', kMaxSearchN + 1, 1, 4, 1, 32)),
+               ProtocolViolationError);
+  EXPECT_THROW(decode(best_strategy_request('e', 6, 0, 4, 1, 32)), ProtocolViolationError);
+  EXPECT_THROW(decode(best_strategy_request('e', 6, kMaxSearchRounds + 1, 4, 1, 32)),
+               ProtocolViolationError);
+  EXPECT_THROW(decode(best_strategy_request('e', 6, 1, 0, 1, 32)), ProtocolViolationError);
+  EXPECT_THROW(decode(best_strategy_request('e', 6, 1, kMaxSearchBuckets + 1, 1, 32)),
+               ProtocolViolationError);
+  EXPECT_THROW(decode(best_strategy_request('e', 6, 1, 4, 1, 0)), ProtocolViolationError);
+  EXPECT_THROW(decode(best_strategy_request('e', 6, 1, 4, 1, kMaxSearchBudget + 1)),
+               ProtocolViolationError);
+  EXPECT_THROW(decode(best_strategy_request('x', 6, 2, 4, 1, 0)), ProtocolViolationError);
+  EXPECT_THROW(decode(best_strategy_request('x', 6, 1, 8, 1, 0)), ProtocolViolationError);
+  EXPECT_EQ(decode(best_strategy_request('x', 6, 1, 4, 1, 0)).n, 6u);
+  EXPECT_EQ(decode(best_strategy_request('e', 7, 2, 8, 65535, 512)).n, 7u);
 }
 
 TEST(Wire, CacheKeyIsContentAddressed) {
@@ -395,6 +428,50 @@ TEST(Handlers, RankTileMatchesTheTiledEngineAndThreadWidths) {
   EXPECT_NE(whole_p.find("tile rank = 203 / 203"), std::string::npos);
   const std::string whole_2 = compute_artifact(rank_tile_request('2', 6, 203, 0), 1);
   EXPECT_NE(whole_2.find("tile rank = 32 / 203"), std::string::npos);
+}
+
+TEST(Handlers, BestStrategyMatchesADirectSearchRunAndThreadWidths) {
+  // The handler is a pure function of the request: byte-identical across
+  // worker widths, and exactly the rendered artifact of the equivalent
+  // run_search call (the cell's parameters all travel in the request).
+  const Request request = best_strategy_request('e', 6, 1, 4, 2019, 48);
+  const std::string serial = compute_artifact(request, 1);
+  EXPECT_EQ(serial, compute_artifact(request, 4));
+
+  SearchConfig config;
+  config.n = 6;
+  config.rounds = 1;
+  config.buckets = 4;
+  config.seed = 2019;
+  config.budget = 48;
+  config.driver = SearchDriver::kEvolution;
+  EXPECT_EQ(serial, render_search_artifact(config, run_search(config)));
+  EXPECT_NE(serial.find("bound-respected yes"), std::string::npos) << serial;
+
+  // The exhaustive driver through the same pipe: the ground-truth cell.
+  const std::string truth = compute_artifact(best_strategy_request('x', 6, 1, 2, 0, 0), 1);
+  EXPECT_NE(truth.find("driver exhaustive"), std::string::npos);
+  EXPECT_NE(truth.find("evaluated 36"), std::string::npos);
+}
+
+TEST(ServeServer, BestStrategyServesWarmAndColdByteIdentically) {
+  RunningServer running({});
+  ServeClient client = running.connect();
+  const Request request = best_strategy_request('r', 6, 1, 4, 7, 32);
+
+  const Response cold = client.request(request);
+  ASSERT_EQ(cold.status, StatusCode::kOk);
+  EXPECT_EQ(cold.source, CacheSource::kCold);
+  EXPECT_EQ(cold.digest, fnv1a(cold.artifact));
+  EXPECT_NE(cold.artifact.find("bcclb search artifact v1"), std::string::npos);
+  EXPECT_NE(cold.artifact.find("driver random seed 7 budget 32"), std::string::npos);
+  EXPECT_NE(cold.artifact.find("bound-respected yes"), std::string::npos);
+
+  const Response warm = client.request(request);
+  ASSERT_EQ(warm.status, StatusCode::kOk);
+  EXPECT_EQ(warm.source, CacheSource::kHit);
+  EXPECT_EQ(warm.artifact, cold.artifact);
+  (void)running.stop();
 }
 
 TEST(ServeServer, RankTileServesAndCachesEndToEnd) {

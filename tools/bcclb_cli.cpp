@@ -14,6 +14,7 @@
 //   campaign <dir> [seed]      checkpointed standard campaign into <dir>
 //   campaign --resume <dir>    re-run only the unfinished jobs
 //   campaign --verify [golden] re-run in memory, diff digests vs golden.json
+//   search <dir> …             adversary strategy-search campaign (DESIGN.md §11)
 //   sim --implicit …           min-ID flood on an implicit instance (n to 10^6)
 //   serve …                    long-lived daemon on a Unix or TCP socket
 //   route …                    shard router fronting N serve daemons
@@ -405,7 +406,11 @@ int cmd_faults(std::size_t n, unsigned b, std::uint64_t seed) {
   return 0;
 }
 
-int cmd_campaign_run(const char* dir, std::uint64_t seed, bool resume) {
+// Shared checkpointed-run plumbing for the `campaign` and `search`
+// subcommands: signal handlers, env hooks, the report print, and the
+// exit-130 resume hint (`resume_cmd` names the subcommand in it).
+int run_checkpointed_campaign(const Campaign& campaign, const char* dir, bool resume,
+                              const char* resume_cmd) {
   std::signal(SIGINT, on_campaign_signal);
   std::signal(SIGTERM, on_campaign_signal);
 
@@ -415,7 +420,7 @@ int cmd_campaign_run(const char* dir, std::uint64_t seed, bool resume) {
   config.interrupt = &g_interrupted;
   // Ops/test hooks, strict-parsed like every other env override (malformed
   // values are ignored, never trusted): a clean stop after N batches, and a
-  // between-batch throttle the kill-and-resume smoke test uses to widen the
+  // between-batch throttle the kill-and-resume smoke tests use to widen the
   // window a real SIGKILL can land in.
   if (const char* env = std::getenv("BCCLB_CAMPAIGN_STOP_AFTER")) {
     if (const auto v = parse_unsigned(env)) config.stop_after_batches = *v;
@@ -423,11 +428,10 @@ int cmd_campaign_run(const char* dir, std::uint64_t seed, bool resume) {
   if (const char* env = std::getenv("BCCLB_CAMPAIGN_BATCH_DELAY_MS")) {
     if (const auto v = parse_u64(env)) config.inter_batch_delay_ns = *v * 1'000'000ULL;
   }
-  const Campaign campaign = standard_campaign(seed);
   const CampaignReport report = CampaignRunner(config).run(campaign);
 
   std::printf("campaign '%s' seed %llu: %u worker(s)", campaign.name.c_str(),
-              static_cast<unsigned long long>(seed), report.planned_workers);
+              static_cast<unsigned long long>(campaign.seed), report.planned_workers);
   if (report.mem_budget_bytes != 0) {
     std::printf(", memory budget %llu bytes",
                 static_cast<unsigned long long>(report.mem_budget_bytes));
@@ -450,8 +454,8 @@ int cmd_campaign_run(const char* dir, std::uint64_t seed, bool resume) {
   if (report.interrupted) {
     std::fprintf(stderr,
                  "interrupted: checkpoint flushed, %zu job(s) still pending\n"
-                 "resume with: bcclb campaign --resume %s\n",
-                 report.num_pending, dir);
+                 "resume with: bcclb %s --resume %s\n",
+                 report.num_pending, resume_cmd, dir);
     return 130;
   }
   if (!report.all_done()) {
@@ -465,9 +469,14 @@ int cmd_campaign_run(const char* dir, std::uint64_t seed, bool resume) {
   return 0;
 }
 
-int cmd_campaign_verify(const char* golden_path) {
-  const GoldenStore golden = GoldenStore::from_json(read_file(golden_path));
-  const Campaign campaign = standard_campaign(golden.seed);
+int cmd_campaign_run(const char* dir, std::uint64_t seed, bool resume) {
+  return run_checkpointed_campaign(standard_campaign(seed), dir, resume, "campaign");
+}
+
+// In-memory re-run + digest diff against a golden store; shared by
+// `campaign --verify` and `search --verify`.
+int verify_campaign_golden(const char* golden_path, const GoldenStore& golden,
+                           const Campaign& campaign) {
   if (golden.campaign != campaign.name) {
     std::fprintf(stderr, "golden store '%s' describes campaign '%s', not '%s'\n", golden_path,
                  golden.campaign.c_str(), campaign.name.c_str());
@@ -503,6 +512,117 @@ int cmd_campaign_verify(const char* golden_path) {
   std::printf("golden digests verified: %zu job(s) match %s\n", golden.digests.size(),
               golden_path);
   return 0;
+}
+
+int cmd_campaign_verify(const char* golden_path) {
+  const GoldenStore golden = GoldenStore::from_json(read_file(golden_path));
+  return verify_campaign_golden(golden_path, golden, standard_campaign(golden.seed));
+}
+
+std::optional<SearchDriver> parse_search_driver(const char* name) {
+  if (std::strcmp(name, "random") == 0) return SearchDriver::kRandom;
+  if (std::strcmp(name, "evolution") == 0) return SearchDriver::kEvolution;
+  if (std::strcmp(name, "exhaustive") == 0) return SearchDriver::kExhaustive;
+  std::fprintf(stderr, "unknown driver '%s'; options: random evolution exhaustive\n", name);
+  return std::nullopt;
+}
+
+// The adversary strategy hunt (DESIGN.md §11). The default form runs the
+// standard search campaign through the checkpointed CampaignRunner into
+// <dir> — kill it (even -9) and `bcclb search --resume <dir>` finishes the
+// remaining cells bit-identically. Cell flags (--n/--rounds/…) run one
+// ad-hoc cell the same way; --verify re-runs the standard campaign in
+// memory and diffs digests against the checked-in golden store.
+int cmd_search(int argc, char** argv) {
+  const char* dir = nullptr;
+  bool resume = false;
+  bool verify = false;
+  const char* golden_path = "results/search_golden.json";
+  std::uint64_t seed = 2019;
+  SearchConfig cell;
+  bool have_cell = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--resume") {
+      resume = true;
+    } else if (flag == "--verify") {
+      verify = true;
+      if (value != nullptr && value[0] != '-') {
+        golden_path = value;
+        ++i;
+      }
+    } else if (flag == "--dir" && value != nullptr) {
+      dir = value;
+      ++i;
+    } else if (flag == "--seed" && value != nullptr) {
+      const auto s = parse_u64(value);
+      if (!s) return usage();
+      seed = *s;
+      ++i;
+    } else if (flag == "--n" && value != nullptr) {
+      const auto n = parse_size(value);
+      if (!n) return usage();
+      cell.n = *n;
+      have_cell = true;
+      ++i;
+    } else if (flag == "--rounds" && value != nullptr) {
+      const auto t = parse_unsigned(value);
+      if (!t || *t == 0) return usage();
+      cell.rounds = *t;
+      have_cell = true;
+      ++i;
+    } else if (flag == "--buckets" && value != nullptr) {
+      const auto k = parse_unsigned(value);
+      if (!k || *k == 0 || *k > 64) return usage();
+      cell.buckets = *k;
+      have_cell = true;
+      ++i;
+    } else if (flag == "--budget" && value != nullptr) {
+      const auto b = parse_u64(value);
+      if (!b) return usage();
+      cell.budget = *b;
+      have_cell = true;
+      ++i;
+    } else if (flag == "--driver" && value != nullptr) {
+      const auto d = parse_search_driver(value);
+      if (!d) return usage();
+      cell.driver = *d;
+      have_cell = true;
+      ++i;
+    } else if (flag == "--bandwidth" && value != nullptr) {
+      // Accepted for forward compatibility with the paper's BCC(b); the
+      // genome only encodes b = 1 broadcasts today, so anything else is a
+      // loud refusal, not a silently different experiment.
+      const auto b = parse_unsigned(value);
+      if (!b) return usage();
+      if (*b != 1) {
+        std::fprintf(stderr, "search: only --bandwidth 1 is implemented\n");
+        return usage();
+      }
+      ++i;
+    } else if (!flag.empty() && flag[0] != '-' && dir == nullptr) {
+      dir = argv[i];
+    } else {
+      return usage();
+    }
+  }
+
+  if (verify) {
+    if (resume || dir != nullptr || have_cell) return usage();
+    const GoldenStore golden = GoldenStore::from_json(read_file(golden_path));
+    return verify_campaign_golden(golden_path, golden, search_campaign(golden.seed));
+  }
+  if (dir == nullptr) {
+    std::fprintf(stderr, "search: need a checkpoint directory (positional or --dir)\n");
+    return usage();
+  }
+  if (have_cell) {
+    cell.seed = seed;
+    return run_checkpointed_campaign(single_cell_search_campaign(cell), dir, resume, "search");
+  }
+  return run_checkpointed_campaign(search_campaign(seed), dir, resume, "search");
 }
 
 int usage();
@@ -960,6 +1080,11 @@ int usage() {
                "  campaign <dir> [seed=2019]\n"
                "  campaign --resume <dir> [seed=2019]\n"
                "  campaign --verify [golden=results/golden.json]\n"
+               "  search <dir> [--seed S] [--resume]\n"
+               "  search --n N --rounds T [--driver random|evolution|exhaustive]\n"
+               "         [--buckets K] [--budget B] [--seed S] [--bandwidth 1]\n"
+               "         [--dir D] [--resume]\n"
+               "  search --verify [golden=results/search_golden.json]\n"
                "  sim     --implicit [--family F] [--n N] [--seed S] [--bandwidth B]\n"
                "          [--threads N] [--cycles K] [--digest]\n"
                "  serve   (--socket <path> | --port <p>) [--threads N] [--queue N]\n"
@@ -977,7 +1102,7 @@ int usage() {
                "adversaries: silent id-bits hashed-id coin-xor-id port-parity echo state-hash\n"
                "families: one-cycle two-cycle multi-cycle random-regular\n"
                "numeric arguments must be whole in-range numbers\n"
-               "campaign and rank --n honour BCCLB_THREADS and BCCLB_MEM_BUDGET\n"
+               "campaign, search, and rank --n honour BCCLB_THREADS and BCCLB_MEM_BUDGET\n"
                "  (bytes, K/M/G suffix);\n"
                "serve honours BCCLB_MEM_BUDGET for the artifact cache and BCCLB_SERVE_FAULTS\n"
                "  for deterministic chaos injection (see DESIGN.md §8);\n"
@@ -1065,6 +1190,7 @@ int dispatch(int argc, char** argv) {
     if (!seed) return usage();
     return cmd_campaign_run(argv[2], *seed, /*resume=*/false);
   }
+  if (cmd == "search") return cmd_search(argc, argv);
   if (cmd == "faults" && argc >= 4) {
     const auto n = parse_size(argv[2]);
     const auto b = parse_unsigned(argv[3]);
